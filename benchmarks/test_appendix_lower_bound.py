@@ -1,0 +1,51 @@
+"""Appendix A — the Ω(n√n) per-node communication lower bound.
+
+Paper result: the complete graph has 3·C(n,4) diamonds (Lemma 2); any e
+edges form at most e^2 diamonds (Lemma 3); hence every comparison-based
+algorithm needs Ω(n√n) per-node communication (Theorem 4), and the grid
+quorum construction sits within a constant factor of that floor.
+"""
+
+import itertools
+
+from conftest import emit
+
+from repro.analysis.tables import render_table
+from repro.core.lowerbound import (
+    count_diamonds_codegree,
+    diamonds_in_complete_graph,
+    grid_quorum_edges_received,
+    optimality_ratio,
+    theorem4_min_edges_per_node,
+)
+
+
+def build_lower_bound_table():
+    rows = []
+    for n in (100, 400, 2500, 10_000, 40_000):
+        floor = theorem4_min_edges_per_node(n)
+        actual = grid_quorum_edges_received(n)
+        rows.append(
+            [n, f"{floor:,.0f}", f"{actual:,}", f"{optimality_ratio(n):.2f}x"]
+        )
+    return render_table(
+        ["n", "theorem4_min_edges/node", "grid_quorum_edges/node", "ratio"],
+        rows,
+        title="Appendix A — grid quorum vs the Ω(n√n) lower bound",
+    )
+
+
+def test_lower_bound_table(benchmark, results_dir):
+    table = benchmark.pedantic(build_lower_bound_table, rounds=1, iterations=1)
+    emit(results_dir, "table_appendix_lower_bound", table)
+
+    # Lemma 2 exact check at a nontrivial size.
+    n = 9
+    edges = list(itertools.combinations(range(n), 2))
+    assert count_diamonds_codegree(edges) == diamonds_in_complete_graph(n)
+
+    # The construction is within a constant factor of optimal, and the
+    # factor does not drift with n.
+    ratios = [optimality_ratio(n) for n in (400, 2500, 10_000, 40_000)]
+    assert all(1.0 <= r < 8.0 for r in ratios)
+    assert max(ratios) / min(ratios) < 1.3

@@ -1,0 +1,48 @@
+"""Figures 13/14 — freshness from a well- vs poorly-connected node.
+
+Paper result: a well-connected node (5.2 avg concurrent failures)
+receives recommendations for every destination about every 8 s, with
+97% of destinations updated within 30 s; even a poorly connected node
+(44 avg / 123 max concurrent failures) receives updates for nearly all
+destinations within a minute, 97% of the time.
+"""
+
+import numpy as np
+from conftest import emit
+
+
+def test_fig13_14_freshness_by_connectivity(benchmark, deployment, results_dir):
+    well, poor = deployment.well_and_poorly_connected()
+
+    def tables():
+        return (
+            deployment.fig13_14_table(well),
+            deployment.fig13_14_table(poor),
+        )
+
+    well_table, poor_table = benchmark.pedantic(tables, rounds=1, iterations=1)
+    emit(results_dir, "fig13_freshness_well_connected", well_table)
+    emit(results_dir, "fig14_freshness_poorly_connected", poor_table)
+
+    means = deployment.fig8_mean_per_node()
+    assert means[poor] > 3 * means[well] + 1
+
+    def stats_for(node):
+        med = np.delete(deployment.freshness_stats["median"][node], node)
+        p97 = np.delete(deployment.freshness_stats["p97"][node], node)
+        return med, p97
+
+    well_med, well_p97 = stats_for(well)
+    poor_med, poor_p97 = stats_for(poor)
+
+    # Well-connected node: typical destination updated within ~one
+    # routing interval; 97% of the time within ~30 s.
+    assert np.median(well_med) < 15.0
+    assert np.median(well_p97) < 30.0
+    # Poorly connected node is worse but still hears about nearly all
+    # destinations within a minute 97% of the time.
+    finite = np.isfinite(poor_p97)
+    assert finite.mean() > 0.9
+    assert (poor_p97[finite] < 60.0).mean() > 0.9
+    # And the poorly connected node is indeed staler than the good one.
+    assert np.median(poor_med[np.isfinite(poor_med)]) >= np.median(well_med)

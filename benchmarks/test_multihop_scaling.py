@@ -1,0 +1,43 @@
+"""§3 multi-hop extension — all-pairs shortest paths in Θ(n√n log n).
+
+Paper result: iterating the two-round protocol log(l) times finds
+optimal routes of length <= l; all-pairs shortest paths cost
+Θ(n√n log n) per node — asymptotically better than the Θ(n^2)
+broadcast — and optimal 3-hop routes cost just twice the one-hop
+communication.
+"""
+
+import math
+
+from conftest import emit
+
+from repro.experiments.multihop_scaling import (
+    format_multihop_scaling,
+    run_multihop_scaling,
+)
+
+
+def test_multihop_scaling(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_multihop_scaling,
+        kwargs={"sizes": (16, 36, 64, 100, 144)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(results_dir, "table_multihop_scaling", format_multihop_scaling(rows))
+
+    assert all(r.routes_correct for r in rows)
+    # Per-node multi-hop bytes grow ~ n^1.5 log n: strictly slower than
+    # n^2 and faster than n^1.2.
+    first, last = rows[0], rows[-1]
+    growth = last.multihop_kb / first.multihop_kb
+    n_ratio = last.n / first.n
+    log_ratio = math.log2(last.n) / math.log2(first.n)
+    assert growth < n_ratio**2
+    assert growth > n_ratio**1.2
+    # The multi-hop run costs about its iteration count in one-hop
+    # rounds (so "3-hop routes for twice the communication", l=4 being
+    # two iterations).
+    for r in rows:
+        per_iteration = r.multihop_over_onehop / max(1, r.iterations)
+        assert 0.5 < per_iteration < 2.5

@@ -1,0 +1,66 @@
+"""Performance microbenchmarks for the library's hot kernels.
+
+Unlike the figure benchmarks (single-shot reproductions), these use
+pytest-benchmark's statistical timing to watch for performance
+regressions in the pieces that dominate simulation time: the event
+loop, the one-hop min-plus kernel, grid construction, and a full
+two-round protocol execution.
+"""
+
+import numpy as np
+
+from repro.core.grid import GridQuorum
+from repro.core.onehop import best_one_hop_all_pairs
+from repro.core.protocol import run_two_round
+from repro.core.quorum import GridQuorumSystem
+from repro.net.simulator import Simulator
+
+
+def test_perf_simulator_event_loop(benchmark):
+    """Schedule+run 20k events (the deployment runs ~1M)."""
+
+    def run():
+        sim = Simulator()
+        sink = []
+        for k in range(20_000):
+            sim.schedule(k * 0.001, sink.append, k)
+        sim.run()
+        return len(sink)
+
+    assert benchmark(run) == 20_000
+
+
+def test_perf_onehop_all_pairs_200(benchmark):
+    """The O(n^3) one-hop oracle at n=200 (Figure 1 scale is 359)."""
+    rng = np.random.default_rng(0)
+    w = rng.uniform(10, 400, (200, 200))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+
+    costs, hops = benchmark(best_one_hop_all_pairs, w)
+    assert costs.shape == (200, 200)
+
+
+def test_perf_grid_construction_1024(benchmark):
+    """Grid quorum build + full server-set materialization at n=1024."""
+
+    def build():
+        grid = GridQuorum(list(range(1024)))
+        for m in range(1024):
+            grid.servers(m)
+        return grid
+
+    grid = benchmark(build)
+    assert grid.rows == 32
+
+
+def test_perf_two_round_protocol_144(benchmark):
+    """One synchronous protocol execution at n=144."""
+    rng = np.random.default_rng(1)
+    w = rng.uniform(10, 400, (144, 144))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+    quorum = GridQuorumSystem(list(range(144)))
+
+    result = benchmark(run_two_round, w, quorum)
+    assert result.coverage_fraction() == 1.0

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""§3 multi-hop routing: detouring around a policy partition.
+
+The paper's example: two commercial networks cannot reach each other
+directly (a full Internet partition between their providers), but both
+peer with Internet2-connected sites. A one-hop detour is not enough —
+the path must enter Internet2, traverse it, and exit — so the overlay
+needs optimal *two-hop* routes, which the iterated protocol finds with
+one extra round (l = 4 covers up to 3 hops for twice the one-hop
+communication).
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.multihop import run_multihop, walk_path
+from repro.core.protocol import run_two_round
+from repro.core.quorum import GridQuorumSystem
+
+
+def build_partitioned_topology(n_commercial_a=8, n_i2=9, n_commercial_b=8):
+    """Commercial cluster A | Internet2 backbone | commercial cluster B.
+
+    Direct links across the partition (A <-> B) are dead. Each
+    commercial node peers with a couple of Internet2 gateways.
+    """
+    n = n_commercial_a + n_i2 + n_commercial_b
+    w = np.full((n, n), np.inf)
+    np.fill_diagonal(w, 0.0)
+    rng = np.random.default_rng(5)
+
+    a = list(range(n_commercial_a))
+    i2 = list(range(n_commercial_a, n_commercial_a + n_i2))
+    b = list(range(n_commercial_a + n_i2, n))
+
+    def connect(group, lo, hi):
+        for x in group:
+            for y in group:
+                if x < y:
+                    w[x, y] = w[y, x] = rng.uniform(lo, hi)
+
+    connect(a, 10, 40)  # intra-cluster commercial links
+    connect(b, 10, 40)
+    connect(i2, 8, 25)  # fast research backbone
+
+    # Each commercial node peers with two Internet2 gateways.
+    for group, gateways in ((a, i2[:3]), (b, i2[-3:])):
+        for x in group:
+            for g in rng.choice(gateways, size=2, replace=False):
+                w[x, g] = w[g, x] = rng.uniform(15, 50)
+    return w, a, i2, b
+
+
+def main() -> None:
+    w, a, i2, b = build_partitioned_topology()
+    n = w.shape[0]
+    quorum = GridQuorumSystem(list(range(n)))
+
+    src, dst = a[0], b[0]
+    print(f"=== commercial node {src} -> commercial node {dst} "
+          f"(direct Internet: partitioned) ===\n")
+
+    onehop = run_two_round(w, quorum)
+    one = onehop.costs[src, dst]
+    print(f"one-hop protocol:   "
+          f"{'unreachable' if np.isinf(one) else f'{one:.1f} ms'}")
+
+    multi = run_multihop(w, quorum, max_hops=4)
+    cost = multi.costs[src, dst]
+    path, realized = walk_path(multi.next_hop, w, src, dst)
+    tag = lambda x: "A" if x in a else ("I2" if x in i2 else "B")
+    pretty = " -> ".join(f"{x}[{tag(x)}]" for x in path)
+    print(f"multi-hop (l<=4):   {cost:.1f} ms via {pretty}")
+    assert abs(realized - cost) < 1e-6
+
+    # Reachability summary across the partition.
+    rows = []
+    for name, result_costs in (
+        ("one-hop protocol", onehop.costs),
+        ("multi-hop l<=4", multi.costs),
+    ):
+        cross = result_costs[np.ix_(a, b)]
+        reachable = np.isfinite(cross).mean()
+        mean_ms = np.nanmean(np.where(np.isfinite(cross), cross, np.nan))
+        rows.append(
+            [name, f"{reachable * 100:.0f}%",
+             "-" if np.isnan(mean_ms) else f"{mean_ms:.1f}"]
+        )
+    print()
+    print(
+        render_table(
+            ["protocol", "A->B pairs reachable", "mean path ms"],
+            rows,
+            title="Routing across the partition (64 A-B pairs)",
+        )
+    )
+
+    per_node = np.mean([multi.bytes_per_node[x] for x in range(n)])
+    print(f"\nmulti-hop communication: {per_node / 1000:.1f} KB/node "
+          f"({multi.iterations} iterations)")
+
+
+if __name__ == "__main__":
+    main()

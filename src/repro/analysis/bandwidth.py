@@ -1,0 +1,136 @@
+"""Closed-form bandwidth models (§6.1).
+
+All formulas are *derived* from the wire constants and the §5 intervals —
+nothing is hard-coded — and reproduce the coefficients printed in the
+paper:
+
+* probing (in+out):           ``49.1 n`` bps
+* full-mesh routing (in+out): ``1.6 n^2 + 24.5 n`` bps
+* quorum routing (in+out):    ``6.4 n sqrt(n) + 17.1 n + 196.3 sqrt(n)`` bps
+
+The models use the paper's large-n approximations (``n`` messages rather
+than ``n - 1``; ``2 sqrt(n)`` rendezvous rather than ``2 (sqrt(n) - 1)``),
+so measured emulation traffic lands slightly below them, exactly as the
+paper reports for its deployment (13.5 vs 15.3 Kbps at n = 140).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+from repro.overlay import wire
+from repro.overlay.config import OverlayConfig, RouterKind
+
+__all__ = [
+    "probing_bps",
+    "fullmesh_routing_bps",
+    "quorum_routing_bps",
+    "routing_bps",
+    "total_bps",
+    "BandwidthModel",
+    "paper_coefficients",
+]
+
+
+def probing_bps(n: float, probe_interval_s: float = 30.0) -> float:
+    """Per-node probing traffic, incoming plus outgoing, bits/second.
+
+    Each probed pair exchanges four 46-byte packets per interval
+    (request out/in, reply out/in).
+    """
+    if n < 0 or probe_interval_s <= 0:
+        raise ConfigError("bad probing model arguments")
+    return 4 * wire.PROBE_BYTES * 8 * n / probe_interval_s
+
+
+def fullmesh_routing_bps(n: float, routing_interval_s: float = 30.0) -> float:
+    """RON's link-state broadcast: ``2 n`` messages of ``3n + 46`` bytes
+    per interval (n sent + n received), per node."""
+    if n < 0 or routing_interval_s <= 0:
+        raise ConfigError("bad full-mesh model arguments")
+    return 2 * n * (3 * n + wire.HEADER_BYTES) * 8 / routing_interval_s
+
+
+def quorum_routing_bps(n: float, routing_interval_s: float = 15.0) -> float:
+    """Quorum routing: per interval a node sends and receives ``2 sqrt(n)``
+    link-state messages (``3n + 46`` B) and ``2 sqrt(n)`` recommendation
+    messages (``8 sqrt(n) + 46`` B)."""
+    if n < 0 or routing_interval_s <= 0:
+        raise ConfigError("bad quorum model arguments")
+    s = math.sqrt(n)
+    per_interval_bytes = 4 * s * (3 * n + wire.HEADER_BYTES) + 4 * s * (
+        8 * s + wire.HEADER_BYTES
+    )
+    return per_interval_bytes * 8 / routing_interval_s
+
+
+def routing_bps(n: float, kind: RouterKind, config: OverlayConfig = None) -> float:
+    """Routing traffic for either algorithm at its configured interval."""
+    config = config or OverlayConfig()
+    interval = config.routing_interval_s(kind)
+    if kind is RouterKind.FULL_MESH:
+        return fullmesh_routing_bps(n, interval)
+    return quorum_routing_bps(n, interval)
+
+
+def total_bps(n: float, kind: RouterKind, config: OverlayConfig = None) -> float:
+    """Probing + routing traffic (the §1 capacity arithmetic)."""
+    config = config or OverlayConfig()
+    return probing_bps(n, config.probe_interval_s) + routing_bps(n, kind, config)
+
+
+def paper_coefficients() -> Dict[str, float]:
+    """The §6.1 closed-form coefficients implied by the wire constants.
+
+    Keys: ``probing_linear`` (49.1), ``fullmesh_quadratic`` (1.6),
+    ``fullmesh_linear`` (24.5), ``quorum_n15`` (6.4), ``quorum_linear``
+    (17.1), ``quorum_sqrt`` (196.3).
+    """
+    h = wire.HEADER_BYTES
+    return {
+        "probing_linear": 4 * wire.PROBE_BYTES * 8 / 30.0,
+        "fullmesh_quadratic": 2 * 3 * 8 / 30.0,
+        "fullmesh_linear": 2 * h * 8 / 30.0,
+        "quorum_n15": 4 * 3 * 8 / 15.0,
+        "quorum_linear": 4 * 8 * 8 / 15.0,
+        "quorum_sqrt": 8 * h * 8 / 15.0,
+    }
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Convenience bundle evaluating both algorithms at one overlay size."""
+
+    n: int
+    config: OverlayConfig = None
+
+    def __post_init__(self):
+        if self.config is None:
+            object.__setattr__(self, "config", OverlayConfig())
+
+    @property
+    def probing(self) -> float:
+        return probing_bps(self.n, self.config.probe_interval_s)
+
+    @property
+    def fullmesh_routing(self) -> float:
+        return fullmesh_routing_bps(self.n, self.config.routing_interval_full_s)
+
+    @property
+    def quorum_routing(self) -> float:
+        return quorum_routing_bps(self.n, self.config.routing_interval_quorum_s)
+
+    @property
+    def fullmesh_total(self) -> float:
+        return self.probing + self.fullmesh_routing
+
+    @property
+    def quorum_total(self) -> float:
+        return self.probing + self.quorum_routing
+
+    def routing_reduction(self) -> float:
+        """How many times less routing traffic the quorum algorithm uses."""
+        return self.fullmesh_routing / self.quorum_routing

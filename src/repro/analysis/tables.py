@@ -1,0 +1,55 @@
+"""Plain-text table rendering for the benchmark harness output.
+
+The benchmarks "regenerate" the paper's tables and figures as printed
+series (no plotting dependencies are available offline); this module
+keeps the formatting consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[k]) for k, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[float],
+    series: dict,
+    title: str = "",
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render one x column plus named y columns (a figure's data)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for k, x in enumerate(xs):
+        rows.append([x] + [fmt.format(series[name][k]) for name in series])
+    return render_table(headers, rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

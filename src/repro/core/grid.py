@@ -1,0 +1,247 @@
+"""Grid quorum construction (§3 of the paper).
+
+Nodes are placed row-major into an ``R x C`` grid; a node's *rendezvous
+servers* are all nodes in its row and column. Any two rows/columns
+intersect, so every pair of nodes shares at least one (generally two)
+rendezvous servers — the property the two-round routing protocol needs.
+
+Non-perfect squares (§3, "Non perfect-square grids"): with ``a = sqrt(n) -
+floor(sqrt(n))``, the grid is ``ceil(sqrt(n)) x floor(sqrt(n))`` when
+``a < 0.5`` and ``ceil(sqrt(n)) x ceil(sqrt(n))`` otherwise. The last row
+may be partial (``k`` of ``C`` positions filled), leaving "blank spaces".
+Each bottom-row node in column ``i`` is then also assigned the nodes at
+row ``i`` in the blank columns as additional rendezvous servers — and
+symmetrically those upper-right nodes gain the bottom-row node — which
+restores the invariant that every node has a rendezvous server in every
+row and every column, at the cost of at most ``2 sqrt(n)`` servers/clients
+per node.
+
+The construction is deterministic given the member list, so all overlay
+nodes that share a membership view derive identical grids (§5,
+"Membership Service").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QuorumError
+
+__all__ = ["grid_dimensions", "GridQuorum"]
+
+
+def grid_dimensions(n: int) -> Tuple[int, int]:
+    """Return the ``(rows, cols)`` of the paper's grid for ``n`` nodes.
+
+    Implements footnote 5: let ``a = sqrt(n) - floor(sqrt(n))``; if
+    ``a < 0.5`` the grid is ``ceil(sqrt(n)) x floor(sqrt(n))``, else
+    ``ceil(sqrt(n)) x ceil(sqrt(n))``.
+    """
+    if n < 1:
+        raise QuorumError(f"grid needs at least one node, got n={n}")
+    root = math.isqrt(n)
+    if root * root == n:
+        return root, root
+    a = math.sqrt(n) - root
+    rows = root + 1
+    cols = root if a < 0.5 else root + 1
+    if not (rows - 1) * cols < n <= rows * cols:
+        raise QuorumError(f"internal error sizing grid for n={n}")  # pragma: no cover
+    return rows, cols
+
+
+class GridQuorum:
+    """Rendezvous assignment for a member list via the grid quorum.
+
+    Parameters
+    ----------
+    members:
+        The overlay membership in the canonical order all nodes agree on
+        (the membership service distributes a sorted list; the grid is
+        filled row-major from it). IDs must be unique.
+
+    Notes
+    -----
+    ``servers(x)`` and ``clients(x)`` are equal by construction (the grid
+    quorum is symmetric, as the paper notes); both include ``x`` itself,
+    which encodes that a node trivially holds its own link state. Use
+    ``servers(x, include_self=False)`` for the message-recipient list.
+    """
+
+    def __init__(self, members: Sequence[int]):
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise QuorumError("duplicate member IDs in grid construction")
+        if not members:
+            raise QuorumError("grid needs at least one member")
+        self._members: List[int] = members
+        self.n = len(members)
+        self.rows, self.cols = grid_dimensions(self.n)
+        # k = number of filled positions in the (possibly partial) last row.
+        self.last_row_fill = self.n - (self.rows - 1) * self.cols
+
+        self._pos: Dict[int, Tuple[int, int]] = {}
+        for idx, member in enumerate(members):
+            self._pos[member] = divmod(idx, self.cols)
+
+        self._row_members: List[List[int]] = [[] for _ in range(self.rows)]
+        self._col_members: List[List[int]] = [[] for _ in range(self.cols)]
+        for member, (r, c) in self._pos.items():
+            self._row_members[r].append(member)
+            self._col_members[c].append(member)
+
+        # §3 blank-space augmentation: bottom-row node in column c0 gains
+        # the nodes at (c0, j) for each blank column j; symmetric back-link.
+        self._extra: Dict[int, Set[int]] = {m: set() for m in members}
+        if self.last_row_fill < self.cols and self.rows > 1:
+            bottom = self.rows - 1
+            for c0 in range(self.last_row_fill):
+                bottom_node = self.at(bottom, c0)
+                assert bottom_node is not None
+                for blank_col in range(self.last_row_fill, self.cols):
+                    partner = self.at(c0, blank_col)
+                    if partner is None:  # pragma: no cover - cannot happen
+                        raise QuorumError("blank-column partner missing")
+                    self._extra[bottom_node].add(partner)
+                    self._extra[partner].add(bottom_node)
+
+        self._servers_cache: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[int]:
+        """Members in grid (row-major) order."""
+        return list(self._members)
+
+    def __contains__(self, member: int) -> bool:
+        return member in self._pos
+
+    def position(self, member: int) -> Tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of ``member``."""
+        try:
+            return self._pos[member]
+        except KeyError:
+            raise QuorumError(f"{member} is not in this grid") from None
+
+    def at(self, row: int, col: int) -> Optional[int]:
+        """Member at ``(row, col)``, or None for a blank position."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise QuorumError(f"position ({row}, {col}) outside grid")
+        idx = row * self.cols + col
+        return self._members[idx] if idx < self.n else None
+
+    def row_of(self, member: int) -> List[int]:
+        """All members in ``member``'s row (including itself)."""
+        return list(self._row_members[self.position(member)[0]])
+
+    def col_of(self, member: int) -> List[int]:
+        """All members in ``member``'s column (including itself)."""
+        return list(self._col_members[self.position(member)[1]])
+
+    # ------------------------------------------------------------------
+    # Rendezvous sets
+    # ------------------------------------------------------------------
+    def servers(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        """The rendezvous servers of ``member`` (row + column + extras).
+
+        Deterministically ordered (grid order) so all nodes agree.
+        """
+        cached = self._servers_cache.get(member)
+        if cached is None:
+            merged = set(self.row_of(member))
+            merged.update(self.col_of(member))
+            merged.update(self._extra[member])
+            cached = tuple(
+                sorted(merged, key=lambda m: self._pos[m][0] * self.cols + self._pos[m][1])
+            )
+            self._servers_cache[member] = cached
+        if include_self:
+            return cached
+        return tuple(m for m in cached if m != member)
+
+    def clients(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        """Rendezvous clients; equal to :meth:`servers` (symmetric quorum)."""
+        return self.servers(member, include_self=include_self)
+
+    def common_rendezvous(self, i: int, j: int) -> Tuple[int, ...]:
+        """All shared rendezvous servers of ``i`` and ``j`` (may include
+        ``i``/``j`` themselves for same-row/column pairs)."""
+        si = set(self.servers(i))
+        return tuple(m for m in self.servers(j) if m in si)
+
+    def default_rendezvous_pair(self, i: int, j: int) -> Tuple[int, ...]:
+        """The two canonical rendezvous for pair ``(i, j)``.
+
+        For in-grid intersections these are the nodes at ``(row_i, col_j)``
+        and ``(row_j, col_i)``; when an intersection falls on a blank
+        position, the §3 augmentation provides the substitutes ``(col_x,
+        col_j)`` / ``(row_j, col_x)`` described in the paper. Deduplicated;
+        may have length 1 for degenerate (same row *and* column) cases.
+        """
+        if i == j:
+            raise QuorumError("a node has no rendezvous pair with itself")
+        ri, ci = self.position(i)
+        rj, cj = self.position(j)
+        picks: List[int] = []
+        # Intersection of i's row with j's column. Blanks only occur in
+        # the bottom row, so a blank here means i is a bottom-row node and
+        # cj is a blank column; the §3 augmentation's substitute is the
+        # node at (ci, cj), which is both an extra server of i and in j's
+        # column.
+        first = self.at(ri, cj)
+        if first is None:
+            first = self.at(ci, cj)
+        # Intersection of j's row with i's column, symmetric reasoning.
+        second = self.at(rj, ci)
+        if second is None:
+            second = self.at(cj, ci)
+        for node in (first, second):
+            if node is not None and node not in picks:
+                picks.append(node)
+        if not picks:  # pragma: no cover - coverage theorem prevents this
+            raise QuorumError(f"no rendezvous found for pair ({i}, {j})")
+        return tuple(picks)
+
+    def failover_candidates(self, dst: int) -> Tuple[int, ...]:
+        """§4.1 failover set for ``dst``: nodes in ``dst``'s row+column.
+
+        These are exactly ``dst``'s rendezvous servers (excluding ``dst``);
+        each already receives ``dst``'s link state, so any of them can
+        immediately recommend routes to ``dst``.
+        """
+        return self.servers(dst, include_self=False)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Check the §3 invariants; raise :class:`QuorumError` if broken.
+
+        * every pair of members shares at least one rendezvous server;
+        * no node has more than ``2 * ceil(sqrt(n))`` servers;
+        * server/client symmetry.
+        """
+        for m in self._members:
+            srv = self.servers(m, include_self=False)
+            if len(srv) > 2 * (math.isqrt(self.n) + 1):
+                raise QuorumError(
+                    f"node {m} has {len(srv)} rendezvous servers, "
+                    f"exceeding the 2*sqrt(n) bound (n={self.n})"
+                )
+            for s in srv:
+                if m not in self.servers(s):
+                    raise QuorumError(f"asymmetric rendezvous: {m} -> {s}")
+        for a_idx in range(self.n):
+            for b_idx in range(a_idx + 1, self.n):
+                a, b = self._members[a_idx], self._members[b_idx]
+                if not self.common_rendezvous(a, b):
+                    raise QuorumError(f"pair ({a}, {b}) shares no rendezvous")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GridQuorum n={self.n} grid={self.rows}x{self.cols} "
+            f"last_row_fill={self.last_row_fill}>"
+        )

@@ -1,0 +1,61 @@
+"""Routing metrics (latency, loss) as additive path costs.
+
+RON optimizes one of several metrics over paths; our routers default to
+latency but the one-hop machinery is metric-agnostic — it minimizes any
+additive cost. Loss becomes additive through ``-log(1 - p)``: the sum of
+transformed link losses equals the transform of the end-to-end delivery
+probability (assuming independence), so min-cost == max-delivery-rate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import RoutingError
+
+__all__ = ["PathMetric", "loss_to_cost", "cost_to_loss", "combine_latency_loss"]
+
+
+class PathMetric(Enum):
+    """Which link attribute the overlay optimizes (RON offers several)."""
+
+    LATENCY = "latency"
+    LOSS = "loss"
+    #: latency plus a loss penalty — RON's default application metric.
+    COMBINED = "combined"
+
+
+def loss_to_cost(loss: np.ndarray) -> np.ndarray:
+    """Map loss probabilities to additive costs: ``-log(1 - p)``.
+
+    ``p = 1`` maps to ``inf`` (unusable link); ``p = 0`` maps to 0.
+    """
+    loss = np.asarray(loss, dtype=float)
+    if np.any((loss < 0) | (loss > 1)):
+        raise RoutingError("loss values must be probabilities in [0, 1]")
+    with np.errstate(divide="ignore"):
+        return -np.log1p(-loss)
+
+
+def cost_to_loss(cost: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`loss_to_cost`: end-to-end loss of a path cost."""
+    cost = np.asarray(cost, dtype=float)
+    if np.any(cost < 0):
+        raise RoutingError("path costs must be non-negative")
+    return -np.expm1(-cost)
+
+
+def combine_latency_loss(
+    latency_ms: np.ndarray,
+    loss: np.ndarray,
+    loss_penalty_ms: float = 1000.0,
+) -> np.ndarray:
+    """RON-style combined metric: latency plus a loss penalty.
+
+    A link with loss ``p`` costs ``latency + penalty * (-log(1-p))`` so
+    lossy links are tolerated only when the latency gain is large.
+    """
+    latency_ms = np.asarray(latency_ms, dtype=float)
+    return latency_ms + loss_penalty_ms * loss_to_cost(loss)

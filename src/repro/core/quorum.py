@@ -1,0 +1,201 @@
+"""Quorum systems for rendezvous assignment.
+
+The paper's algorithm needs only one property from its rendezvous
+construction: every pair of nodes must share at least one rendezvous
+server (§3). The grid quorum (:mod:`repro.core.grid`) is the paper's
+choice because it also balances load at ``2 sqrt(n)`` per node — but the
+routing protocol itself is construction-agnostic, and the paper notes the
+symmetry of the grid is unnecessary.
+
+This module defines the :class:`QuorumSystem` interface plus the
+strawman/ablation constructions discussed in §3 and related work:
+
+* :class:`CentralQuorum` — one rendezvous node for everyone. Total
+  communication O(n^2) but it all lands on one node (the scalability
+  bottleneck §3 argues against).
+* :class:`FullMeshQuorum` — everyone is everyone's rendezvous; equivalent
+  in cost to RON's link-state broadcast.
+* :class:`RandomQuorum` — each node independently picks ``c*sqrt(n)``
+  servers, a probabilistic quorum [Malkhi et al.]; pairs intersect only
+  with high probability, so coverage may be < 1.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.grid import GridQuorum
+from repro.errors import QuorumError
+
+__all__ = [
+    "QuorumSystem",
+    "GridQuorumSystem",
+    "CentralQuorum",
+    "FullMeshQuorum",
+    "RandomQuorum",
+    "coverage_fraction",
+]
+
+
+class QuorumSystem(abc.ABC):
+    """Rendezvous assignment: who sends link state to whom.
+
+    ``servers(x)`` is where ``x`` sends its link state (round 1);
+    ``clients(x)`` is whose link state ``x`` receives, i.e. who ``x``
+    sends recommendations to (round 2). For symmetric constructions the
+    two coincide.
+    """
+
+    def __init__(self, members: Sequence[int]):
+        members = list(members)
+        if len(set(members)) != len(members):
+            raise QuorumError("duplicate member IDs")
+        if not members:
+            raise QuorumError("need at least one member")
+        self._members = members
+
+    @property
+    def members(self) -> List[int]:
+        return list(self._members)
+
+    @property
+    def n(self) -> int:
+        return len(self._members)
+
+    @abc.abstractmethod
+    def servers(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        """Rendezvous servers of ``member``."""
+
+    def clients(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        """Rendezvous clients of ``member`` (defaults to the inverse map)."""
+        out = tuple(
+            m for m in self._members if member in self.servers(m, include_self=True)
+        )
+        if include_self:
+            return out
+        return tuple(m for m in out if m != member)
+
+    def common_rendezvous(self, i: int, j: int) -> Tuple[int, ...]:
+        """Servers shared by ``i`` and ``j`` (empty iff pair uncovered)."""
+        si = set(self.servers(i))
+        return tuple(m for m in self.servers(j) if m in si)
+
+    def max_load(self) -> int:
+        """Maximum number of clients any single node serves."""
+        return max(len(self.clients(m, include_self=False)) for m in self._members)
+
+
+class GridQuorumSystem(QuorumSystem):
+    """Adapter presenting :class:`repro.core.grid.GridQuorum` through the
+    :class:`QuorumSystem` interface."""
+
+    def __init__(self, members: Sequence[int]):
+        super().__init__(members)
+        self.grid = GridQuorum(members)
+
+    def servers(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        return self.grid.servers(member, include_self=include_self)
+
+    def clients(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        return self.grid.clients(member, include_self=include_self)
+
+
+class CentralQuorum(QuorumSystem):
+    """All nodes rendezvous at a single coordinator (§3's strawman)."""
+
+    def __init__(self, members: Sequence[int], hub: Optional[int] = None):
+        super().__init__(members)
+        self.hub = self._members[0] if hub is None else hub
+        if self.hub not in self._members:
+            raise QuorumError(f"hub {self.hub} is not a member")
+
+    def servers(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        out = (self.hub,) if member != self.hub else ()
+        if include_self:
+            return tuple(sorted(set(out) | {member}))
+        return out
+
+    def clients(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        if member == self.hub:
+            return tuple(
+                m for m in self._members if include_self or m != member
+            )
+        return (member,) if include_self else ()
+
+
+class FullMeshQuorum(QuorumSystem):
+    """Everyone is a rendezvous for everyone (link-state broadcast)."""
+
+    def servers(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        if include_self:
+            return tuple(self._members)
+        return tuple(m for m in self._members if m != member)
+
+    def clients(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        return self.servers(member, include_self=include_self)
+
+
+class RandomQuorum(QuorumSystem):
+    """Each node picks ``multiplier * sqrt(n)`` servers uniformly at random.
+
+    A probabilistic quorum system: with multiplier ``c``, a pair's server
+    sets intersect with probability ≈ ``1 - exp(-c^2)``, so coverage is
+    high but not guaranteed — the ablation benchmark quantifies exactly
+    what the deterministic grid buys.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[int],
+        rng: np.random.Generator,
+        multiplier: float = 2.0,
+    ):
+        super().__init__(members)
+        if multiplier <= 0:
+            raise QuorumError("multiplier must be positive")
+        size = min(self.n, max(1, round(multiplier * math.sqrt(self.n))))
+        self._server_sets: Dict[int, Tuple[int, ...]] = {}
+        self._client_sets: Dict[int, Set[int]] = {m: set() for m in self._members}
+        arr = np.asarray(self._members)
+        for m in self._members:
+            chosen = tuple(
+                int(x) for x in rng.choice(arr, size=size, replace=False)
+            )
+            self._server_sets[m] = chosen
+            for s in chosen:
+                self._client_sets[s].add(m)
+
+    def servers(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        base = self._server_sets[member]
+        if include_self:
+            return tuple(sorted(set(base) | {member}))
+        return tuple(s for s in base if s != member)
+
+    def clients(self, member: int, include_self: bool = True) -> Tuple[int, ...]:
+        out = set(self._client_sets[member])
+        if include_self:
+            out.add(member)
+        else:
+            out.discard(member)
+        return tuple(sorted(out))
+
+
+def coverage_fraction(quorum: QuorumSystem) -> float:
+    """Fraction of node pairs that share at least one rendezvous server."""
+    members = quorum.members
+    n = len(members)
+    if n < 2:
+        return 1.0
+    covered = 0
+    total = 0
+    server_sets = {m: set(quorum.servers(m)) for m in members}
+    for a_idx in range(n):
+        for b_idx in range(a_idx + 1, n):
+            total += 1
+            if server_sets[members[a_idx]] & server_sets[members[b_idx]]:
+                covered += 1
+    return covered / total

@@ -1,0 +1,97 @@
+"""Experiment runners, one per figure/table of the paper's evaluation.
+
+* :mod:`repro.experiments.fig1_onehop_cdf` — Figure 1
+* :mod:`repro.experiments.fig9_bandwidth_scaling` — Figure 9
+* :mod:`repro.experiments.deployment` — Figures 8, 10, 11, 12, 13, 14
+* :mod:`repro.experiments.scenarios` — §4.1 scenarios (Figures 4-7)
+* :mod:`repro.experiments.capacity_tables` — §1/§5/§6.1 tables
+* :mod:`repro.experiments.ablation_quorum` — quorum-construction ablation
+* :mod:`repro.experiments.ablation_interval` — routing-interval ablation
+* :mod:`repro.experiments.multihop_scaling` — §3 multi-hop extension
+"""
+
+from repro.experiments.adversarial import (
+    AdversarialResult,
+    format_adversarial,
+    run_adversarial,
+    run_adversarial_sweep,
+)
+from repro.experiments.ablation_interval import (
+    IntervalAblationRow,
+    format_interval_ablation,
+    run_interval_ablation,
+)
+from repro.experiments.ablation_quorum import (
+    QuorumAblationRow,
+    format_quorum_ablation,
+    run_quorum_ablation,
+)
+from repro.experiments.capacity_tables import (
+    CapacityHeadlines,
+    capacity_table,
+    coefficients_table,
+    config_table,
+    run_capacity_headlines,
+)
+from repro.experiments.deployment import (
+    FRESHNESS_GRID,
+    DeploymentResult,
+    run_deployment,
+)
+from repro.experiments.fig1_onehop_cdf import Fig1Result, run_fig1
+from repro.experiments.fig9_bandwidth_scaling import Fig9Result, run_fig9
+from repro.experiments.multihop_scaling import (
+    MultiHopRow,
+    format_multihop_scaling,
+    run_multihop_scaling,
+)
+from repro.experiments.related_work import (
+    AvailabilityResult,
+    LatencyRepairResult,
+    format_related_work,
+    run_availability_comparison,
+    run_latency_repair_comparison,
+)
+from repro.experiments.scenarios import (
+    ScenarioResult,
+    format_scenarios,
+    run_all_scenarios,
+    run_scenario,
+)
+
+__all__ = [
+    "AdversarialResult",
+    "AvailabilityResult",
+    "format_adversarial",
+    "run_adversarial",
+    "run_adversarial_sweep",
+    "CapacityHeadlines",
+    "LatencyRepairResult",
+    "format_related_work",
+    "run_availability_comparison",
+    "run_latency_repair_comparison",
+    "DeploymentResult",
+    "FRESHNESS_GRID",
+    "Fig1Result",
+    "Fig9Result",
+    "IntervalAblationRow",
+    "MultiHopRow",
+    "QuorumAblationRow",
+    "ScenarioResult",
+    "capacity_table",
+    "coefficients_table",
+    "config_table",
+    "format_interval_ablation",
+    "format_multihop_scaling",
+    "format_quorum_ablation",
+    "format_scenarios",
+    "run_all_scenarios",
+    "run_capacity_headlines",
+    "run_deployment",
+    "run_fig1",
+    "run_fig9",
+    "run_interval_ablation",
+    "run_multihop_scaling",
+    "run_quorum_ablation",
+    "run_scenario",
+]

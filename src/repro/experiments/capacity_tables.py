@@ -1,0 +1,124 @@
+"""The paper's headline capacity arithmetic (§1, §2, §5, §6.1).
+
+Three tables:
+
+* the §5 configuration-parameter table,
+* the §1 capacity comparison (56 Kbps budget; 416 PlanetLab sites),
+* the §2/§6 Skype scenario (10,000 nodes, equal routing intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.bandwidth import (
+    BandwidthModel,
+    paper_coefficients,
+)
+from repro.analysis.capacity import (
+    capacity_at_budget,
+    planetlab_sites_comparison,
+    skype_scenario_reduction,
+)
+from repro.analysis.tables import render_table
+from repro.overlay.config import OverlayConfig
+
+__all__ = [
+    "config_table",
+    "capacity_table",
+    "coefficients_table",
+    "CapacityHeadlines",
+    "run_capacity_headlines",
+]
+
+
+def config_table(config: OverlayConfig = None) -> str:
+    """§5's parameter table."""
+    config = config or OverlayConfig()
+    rows = [
+        ["routing interval (r)", f"{config.routing_interval_full_s:.0f}s",
+         f"{config.routing_interval_quorum_s:.0f}s"],
+        ["probing interval (p)", f"{config.probe_interval_s:.0f}s",
+         f"{config.probe_interval_s:.0f}s"],
+        ["#probes for failure", str(config.probes_to_fail), str(config.probes_to_fail)],
+    ]
+    return render_table(
+        ["Configuration parameter", "Full-mesh (RON)", "Quorum System"],
+        rows,
+        title="§5 configuration parameters",
+    )
+
+
+def coefficients_table() -> str:
+    """§6.1 closed-form coefficients vs the paper's printed values."""
+    ours = paper_coefficients()
+    paper = {
+        "probing_linear": 49.1,
+        "fullmesh_quadratic": 1.6,
+        "fullmesh_linear": 24.5,
+        "quorum_n15": 6.4,
+        "quorum_linear": 17.1,
+        "quorum_sqrt": 196.3,
+    }
+    rows = [[k, f"{ours[k]:.2f}", f"{paper[k]:.1f}"] for k in paper]
+    return render_table(
+        ["coefficient", "derived_from_wire_model", "paper"],
+        rows,
+        title="§6.1 bandwidth formula coefficients",
+    )
+
+
+@dataclass
+class CapacityHeadlines:
+    """The §1 numbers, computed from the models."""
+
+    budget_bps: float
+    fullmesh_nodes_at_budget: int
+    quorum_nodes_at_budget: int
+    planetlab: Dict[str, float]
+    skype_reduction_10k: float
+
+    def format_table(self) -> str:
+        rows = [
+            [
+                "max nodes at 56 Kbps (paper: 165 vs ~300)",
+                self.fullmesh_nodes_at_budget,
+                self.quorum_nodes_at_budget,
+            ],
+            [
+                "416 PlanetLab sites, total Kbps (paper: 307 vs 86)",
+                f"{self.planetlab['fullmesh_total_bps'] / 1000:.1f}",
+                f"{self.planetlab['quorum_total_bps'] / 1000:.1f}",
+            ],
+            [
+                "10k-node routing reduction (paper: ~50x)",
+                "1x",
+                f"{self.skype_reduction_10k:.1f}x",
+            ],
+            [
+                "140-node routing Kbps (paper Fig 9: 34.8 vs 15.3)",
+                f"{BandwidthModel(140).fullmesh_routing / 1000:.1f}",
+                f"{BandwidthModel(140).quorum_routing / 1000:.1f}",
+            ],
+        ]
+        return render_table(
+            ["claim", "full_mesh", "quorum"],
+            rows,
+            title="§1 capacity headlines",
+        )
+
+
+def run_capacity_headlines(budget_bps: float = 56_000.0) -> CapacityHeadlines:
+    comparison = capacity_at_budget(budget_bps)
+    return CapacityHeadlines(
+        budget_bps=budget_bps,
+        fullmesh_nodes_at_budget=comparison.fullmesh_nodes,
+        quorum_nodes_at_budget=comparison.quorum_nodes,
+        planetlab=planetlab_sites_comparison(416),
+        skype_reduction_10k=skype_scenario_reduction(10_000),
+    )
+
+
+def capacity_table(budget_bps: float = 56_000.0) -> str:
+    return run_capacity_headlines(budget_bps).format_table()

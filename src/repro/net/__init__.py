@@ -1,0 +1,53 @@
+"""Network substrate: simulator, underlay topology, failures, transport."""
+
+from repro.net.failures import (
+    FailureTable,
+    NodeClass,
+    NodeClassParams,
+    OutageSchedule,
+    assign_node_classes,
+    build_failure_table,
+    schedule_from_episodes,
+)
+from repro.net.packet import (
+    LinkStateMessage,
+    MembershipUpdate,
+    Message,
+    ProbeReply,
+    ProbeRequest,
+    RecommendationMessage,
+)
+from repro.net.simulator import Event, PeriodicTimer, Simulator
+from repro.net.topology import Topology
+from repro.net.trace import (
+    SyntheticTrace,
+    euclidean_2d,
+    planetlab_like,
+    uniform_random_metric,
+)
+from repro.net.transport import DatagramTransport
+
+__all__ = [
+    "DatagramTransport",
+    "Event",
+    "FailureTable",
+    "LinkStateMessage",
+    "MembershipUpdate",
+    "Message",
+    "NodeClass",
+    "NodeClassParams",
+    "OutageSchedule",
+    "PeriodicTimer",
+    "ProbeReply",
+    "ProbeRequest",
+    "RecommendationMessage",
+    "Simulator",
+    "SyntheticTrace",
+    "Topology",
+    "assign_node_classes",
+    "build_failure_table",
+    "euclidean_2d",
+    "planetlab_like",
+    "schedule_from_episodes",
+    "uniform_random_metric",
+]

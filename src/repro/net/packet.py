@@ -1,0 +1,188 @@
+"""Typed in-simulation messages.
+
+Messages carry structured payloads (numpy arrays, entry lists) for speed;
+their :meth:`wire_size` reports what the compact §5 wire encoding *would*
+occupy, which is what the bandwidth accounting uses. The byte-level codecs
+in :mod:`repro.overlay.wire` are exercised separately and round-trip the
+same information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.overlay import wire
+
+__all__ = [
+    "Message",
+    "ProbeRequest",
+    "ProbeReply",
+    "LinkStateMessage",
+    "RecommendationMessage",
+    "RelayEnvelope",
+    "MembershipUpdate",
+    "KIND_PROBE",
+    "KIND_LINKSTATE",
+    "KIND_RECOMMENDATION",
+    "KIND_MEMBERSHIP",
+]
+
+KIND_PROBE = "probe"
+KIND_LINKSTATE = "ls"
+KIND_RECOMMENDATION = "rec"
+KIND_MEMBERSHIP = "member"
+
+
+@dataclass
+class Message:
+    """Base class for overlay messages."""
+
+    origin: int
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def wire_size(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class ProbeRequest(Message):
+    """A liveness/latency probe (bare header on the wire)."""
+
+    seq: int = 0
+
+    @property
+    def kind(self) -> str:
+        return KIND_PROBE
+
+    def wire_size(self) -> int:
+        return wire.PROBE_BYTES
+
+
+@dataclass
+class ProbeReply(Message):
+    """Reply to a probe; echoes the sequence number."""
+
+    seq: int = 0
+
+    @property
+    def kind(self) -> str:
+        return KIND_PROBE
+
+    def wire_size(self) -> int:
+        return wire.PROBE_BYTES
+
+
+@dataclass
+class LinkStateMessage(Message):
+    """One node's link-state row (round 1 of the routing protocol).
+
+    Attributes
+    ----------
+    latency_ms:
+        Estimated RTT to each destination; ``inf`` for down links.
+    alive:
+        Liveness flags per destination.
+    loss:
+        Loss-rate estimates per destination.
+    view_version:
+        Membership view version this row is indexed against.
+    sec:
+        Optional ``Sec`` (second node on best path) identities, present
+        only in the multi-hop extension.
+    """
+
+    latency_ms: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    alive: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    loss: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    view_version: int = 0
+    sent_at: float = 0.0
+    sec: Optional[np.ndarray] = None
+    #: §4.1 footnote 8: when this table was relayed through a temporary
+    #: one-hop, the relay's node ID — the rendezvous uses it to route its
+    #: recommendations back around the broken direct link.
+    relay_via: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        return KIND_LINKSTATE
+
+    def wire_size(self) -> int:
+        base = wire.linkstate_message_bytes(
+            len(self.latency_ms), multihop=self.sec is not None
+        )
+        return base + (wire.NODE_ID_BYTES if self.relay_via is not None else 0)
+
+
+@dataclass
+class RecommendationMessage(Message):
+    """Round-2 best-one-hop recommendations for one rendezvous client.
+
+    ``entries`` is a list of ``(destination, one_hop)`` node-ID pairs; a
+    ``one_hop`` equal to the destination means "use the direct path".
+    """
+
+    entries: List[Tuple[int, int]] = field(default_factory=list)
+    view_version: int = 0
+    sent_at: float = 0.0
+    #: §6.2.2 footnote 11: optionally timestamp entries so receivers can
+    #: keep the most up-to-date best hop. Adds 2 B per entry on the wire.
+    timestamped: bool = False
+
+    @property
+    def kind(self) -> str:
+        return KIND_RECOMMENDATION
+
+    def wire_size(self) -> int:
+        if self.timestamped:
+            return (
+                wire.HEADER_BYTES
+                + wire.TIMESTAMPED_REC_ENTRY_BYTES * len(self.entries)
+            )
+        return wire.recommendation_message_bytes(len(self.entries))
+
+    def destinations(self) -> List[int]:
+        """The destinations this message recommends hops for."""
+        return [dst for dst, _ in self.entries]
+
+
+@dataclass
+class RelayEnvelope(Message):
+    """§4.1 footnote 8: a message sent via a temporary one-hop relay.
+
+    The relay node unwraps the envelope and forwards ``inner`` to
+    ``target``. On the wire the envelope costs the inner message plus a
+    2-byte target ID and a 2-byte flags field.
+    """
+
+    inner: Optional[Message] = None
+    target: int = -1
+
+    @property
+    def kind(self) -> str:
+        assert self.inner is not None
+        return self.inner.kind
+
+    def wire_size(self) -> int:
+        assert self.inner is not None
+        return self.inner.wire_size() + 2 * wire.NODE_ID_BYTES
+
+
+@dataclass
+class MembershipUpdate(Message):
+    """A new membership view pushed by the membership service."""
+
+    version: int = 0
+    members: Tuple[int, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return KIND_MEMBERSHIP
+
+    def wire_size(self) -> int:
+        return wire.membership_message_bytes(len(self.members))

@@ -1,0 +1,39 @@
+"""Simplified RON overlay: membership, monitoring, routers, accounting."""
+
+from repro.overlay.adversarial import MaliciousQuorumRouter
+from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.harness import Overlay, build_overlay
+from repro.overlay.linkstate import LinkStateTable
+from repro.overlay.membership import MembershipService, MembershipView
+from repro.overlay.monitor import LinkMonitor
+from repro.overlay.node import OverlayNode
+from repro.overlay.router_base import Route, RouterBase
+from repro.overlay.router_fullmesh import FullMeshRouter
+from repro.overlay.router_quorum import QuorumRouter
+from repro.overlay.stats import (
+    ROUTING_KINDS,
+    BandwidthRecorder,
+    CounterSet,
+    FreshnessRecorder,
+)
+
+__all__ = [
+    "BandwidthRecorder",
+    "MaliciousQuorumRouter",
+    "CounterSet",
+    "FreshnessRecorder",
+    "FullMeshRouter",
+    "LinkMonitor",
+    "LinkStateTable",
+    "MembershipService",
+    "MembershipView",
+    "Overlay",
+    "OverlayConfig",
+    "OverlayNode",
+    "QuorumRouter",
+    "ROUTING_KINDS",
+    "Route",
+    "RouterBase",
+    "RouterKind",
+    "build_overlay",
+]

@@ -1,0 +1,60 @@
+"""Adversarial rendezvous behavior (§7, "Challenges for larger overlays").
+
+The paper's future-work discussion asks how the routing mechanism can
+resist malicious rendezvous nodes once overlays outgrow mutually trusting
+deployments. This module provides the attack side for experiments:
+
+* :class:`MaliciousQuorumRouter` — a rendezvous that runs the protocol
+  faithfully except that every recommendation names *itself* as the
+  one-hop, attracting its clients' traffic (a classic traffic-attraction
+  attack). Its link-state announcements stay honest, which models a
+  participant that cannot forge measurements (they are verifiable by
+  probing) but fully controls its own recommendation computation.
+
+The defense is in the standard :class:`~repro.overlay.router_quorum.
+QuorumRouter`: with ``OverlayConfig(verify_recommendations=True)`` a node
+keeps the latest recommendation from *two* distinct rendezvous per
+destination and, at lookup time, locally evaluates both candidate hops
+against the link-state tables it already holds — the pair redundancy of
+the grid quorum is exactly what makes one lying rendezvous survivable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.net.packet import RecommendationMessage
+from repro.overlay.router_quorum import QuorumRouter
+
+__all__ = ["MaliciousQuorumRouter"]
+
+
+class MaliciousQuorumRouter(QuorumRouter):
+    """A rendezvous that recommends itself as every pair's best hop."""
+
+    def _send_recommendations(self) -> None:
+        view = self._require_view()
+        fresh = self._fresh_client_indices()
+        if fresh.size < 2:
+            return
+        reachable = np.array([self.link_up_view(int(c)) for c in fresh])
+        covered = [int(c) for c in fresh[reachable]]
+        if len(covered) < 2:
+            return
+        now = self.sim.now
+        for a_idx in covered:
+            entries: List[Tuple[int, int]] = [
+                (b_idx, self.me_idx) for b_idx in covered if b_idx != a_idx
+            ]
+            if not entries:
+                continue
+            msg = RecommendationMessage(
+                origin=self.me,
+                entries=entries,
+                view_version=view.version,
+                sent_at=now,
+                timestamped=self.config.timestamped_recommendations,
+            )
+            self.transport.send(self.me, view.members[a_idx], msg)

@@ -1,0 +1,130 @@
+"""Overlay configuration (§5's parameter table).
+
+The paper's deployment parameters::
+
+    Configuration parameter   Full-mesh (RON)   Quorum system
+    routing interval (r)      30 s              15 s
+    probing interval (p)      30 s              30 s
+    #probes for failure       5                 5
+
+The quorum system runs its routing interval at half the full-mesh value
+because, absent rendezvous failures, it takes two routing intervals to
+propagate fresh probing data into optimal routes (§4, "Comparison to n^2
+link-state failover"). Bandwidth scales linearly with both frequencies, so
+the *relative* cost of the two algorithms is interval-independent (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.core.metrics import PathMetric
+from repro.errors import ConfigError
+
+__all__ = ["RouterKind", "OverlayConfig"]
+
+
+class RouterKind(Enum):
+    """Which routing algorithm an overlay runs."""
+
+    FULL_MESH = "full-mesh"  # RON's original link-state broadcast
+    QUORUM = "quorum"  # this paper's two-round grid-quorum protocol
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """All tunables of the overlay, defaulting to the paper's values."""
+
+    #: Probing interval p (seconds); full link monitoring each interval.
+    probe_interval_s: float = 30.0
+    #: Consecutive failed probes before a link is declared down.
+    probes_to_fail: int = 5
+    #: Interval between the rapid follow-up probes sent after a first
+    #: loss; chosen so that 5 losses are observable within one probing
+    #: interval ("detects failures within 1 probing period", §5).
+    rapid_probe_interval_s: float = 6.0
+    #: Routing interval r for the full-mesh (RON) router.
+    routing_interval_full_s: float = 30.0
+    #: Routing interval r for the quorum router (half of full mesh, §5).
+    routing_interval_quorum_s: float = 15.0
+    #: EWMA weight of a new latency sample.
+    ewma_alpha: float = 0.5
+    #: A rendezvous uses client link state received within this many
+    #: routing intervals when computing recommendations (§6.2.2: 3).
+    rec_memory_intervals: float = 3.0
+    #: Remote-failure timeout, in routing intervals (backstop for lost
+    #: recommendation messages; affirmative omissions act immediately).
+    remote_timeout_intervals: float = 2.5
+    #: Membership timeout (30 minutes, §5).
+    membership_timeout_s: float = 1800.0
+    #: Freshness sampling period used by the evaluation (§6.2.2: 30 s).
+    freshness_sample_s: float = 30.0
+    #: Bandwidth accounting bucket width (seconds).
+    bandwidth_bucket_s: float = 10.0
+    #: §6.2.2 footnote 11 extension: timestamp recommendation entries so
+    #: receivers keep the most recently *computed* best hop instead of
+    #: the most recently *delivered* one (costs 2 B/entry on the wire).
+    timestamped_recommendations: bool = False
+    #: §4.1 footnote 8 extension: when a failover rendezvous is not
+    #: directly reachable, relay link state (and the recommendations
+    #: coming back) through a temporary one-hop intermediate.
+    relay_failover: bool = False
+    #: §7 future-work extension: keep recommendations from two distinct
+    #: rendezvous per destination and locally cross-validate them at
+    #: lookup time, surviving a lying (malicious) rendezvous.
+    verify_recommendations: bool = False
+    #: Which link attribute routing optimizes. RON supports latency,
+    #: loss, and a combined application metric; the paper's evaluation
+    #: optimizes latency.
+    path_metric: "PathMetric" = None  # type: ignore[assignment]
+    #: Loss penalty (ms per unit -log(1-p)) for the COMBINED metric.
+    loss_penalty_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.path_metric is None:
+            object.__setattr__(self, "path_metric", PathMetric.LATENCY)
+        if self.loss_penalty_ms < 0:
+            raise ConfigError("loss_penalty_ms must be non-negative")
+        positive = {
+            "probe_interval_s": self.probe_interval_s,
+            "rapid_probe_interval_s": self.rapid_probe_interval_s,
+            "routing_interval_full_s": self.routing_interval_full_s,
+            "routing_interval_quorum_s": self.routing_interval_quorum_s,
+            "rec_memory_intervals": self.rec_memory_intervals,
+            "remote_timeout_intervals": self.remote_timeout_intervals,
+            "membership_timeout_s": self.membership_timeout_s,
+            "freshness_sample_s": self.freshness_sample_s,
+            "bandwidth_bucket_s": self.bandwidth_bucket_s,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.probes_to_fail < 1:
+            raise ConfigError("probes_to_fail must be >= 1")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+        if self.rapid_probe_interval_s * (self.probes_to_fail - 1) > self.probe_interval_s:
+            raise ConfigError(
+                "rapid probing must fit the detection budget: "
+                f"{self.probes_to_fail - 1} follow-ups at "
+                f"{self.rapid_probe_interval_s}s exceed one probe interval"
+            )
+
+    def routing_interval_s(self, kind: RouterKind) -> float:
+        """The routing interval for a router kind."""
+        if kind is RouterKind.FULL_MESH:
+            return self.routing_interval_full_s
+        return self.routing_interval_quorum_s
+
+    def rec_memory_s(self) -> float:
+        """Age limit on client link state used in recommendations (3r)."""
+        return self.rec_memory_intervals * self.routing_interval_quorum_s
+
+    def remote_timeout_s(self) -> float:
+        """Remote rendezvous failure timeout in seconds."""
+        return self.remote_timeout_intervals * self.routing_interval_quorum_s
+
+    def with_overrides(self, **kwargs) -> "OverlayConfig":
+        """A copy with the given fields replaced (validated)."""
+        return replace(self, **kwargs)

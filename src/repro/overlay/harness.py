@@ -1,0 +1,273 @@
+"""Overlay construction and experiment driving.
+
+:func:`build_overlay` assembles the full stack — simulator, topology,
+transport, bandwidth/freshness instrumentation, membership, and ``n``
+overlay nodes with staggered timer phases — and returns an
+:class:`Overlay` handle with the measurement accessors the §6 experiments
+(and downstream users) need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.failures import FailureTable
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.net.trace import SyntheticTrace, planetlab_like
+from repro.net.transport import DatagramTransport
+from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.membership import MembershipService, MembershipView
+from repro.overlay.node import OverlayNode
+from repro.overlay.router_quorum import QuorumRouter
+from repro.overlay.stats import (
+    ROUTING_KINDS,
+    BandwidthRecorder,
+    FreshnessRecorder,
+)
+
+__all__ = ["Overlay", "build_overlay"]
+
+
+class Overlay:
+    """A running overlay plus its instrumentation.
+
+    Use :func:`build_overlay` to construct one. ``run(duration)`` advances
+    virtual time; accessors expose the measured quantities of §6.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        transport: DatagramTransport,
+        nodes: List[OverlayNode],
+        config: OverlayConfig,
+        router_kind: RouterKind,
+        bandwidth: BandwidthRecorder,
+        freshness: Optional[FreshnessRecorder],
+        membership: MembershipService,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.transport = transport
+        self.nodes = nodes
+        self.config = config
+        self.router_kind = router_kind
+        self.bandwidth = bandwidth
+        self.freshness = freshness
+        self.membership = membership
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> None:
+        """Advance the simulation by ``duration_s`` seconds."""
+        self.sim.run_until(self.sim.now + duration_s)
+
+    def join_node(self, node_id: int) -> None:
+        """Admit a previously inactive node into the overlay.
+
+        The node must exist in the underlay topology (it was built with
+        ``active_members`` excluding it). Its timers start right after
+        the membership view reaches it.
+        """
+        node = self.nodes[node_id]
+        self.membership.join(node.id, node.on_view)
+        interval = self.config.routing_interval_s(self.router_kind)
+        self.sim.schedule(0.1, node.start, 0.5, interval / 2.0)
+
+    def leave_node(self, node_id: int) -> None:
+        """Remove a node from the overlay (its process keeps running on
+        the underlay but stops participating)."""
+        node = self.nodes[node_id]
+        node.stop()
+        self.membership.leave(node.id)
+
+    def start_freshness_sampling(self, period_s: Optional[float] = None) -> None:
+        """Begin periodic route-freshness snapshots (§6.2.2's 30 s)."""
+        if self.freshness is None:
+            raise ConfigError("overlay built without a freshness recorder")
+        period = period_s if period_s is not None else self.config.freshness_sample_s
+        self.sim.periodic(period, self._sample_freshness, phase=period)
+
+    def _sample_freshness(self) -> None:
+        assert self.freshness is not None
+        n = self.n
+        mat = np.stack(
+            [node.router.last_rec_times_by_member(n) for node in self.nodes]
+        )
+        self.freshness.sample(self.sim.now, mat)
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def routing_bps(self, t0: float, t1: float) -> np.ndarray:
+        """Per-node routing traffic (in+out), bits/second, over [t0, t1)."""
+        return self.bandwidth.bps_per_node(ROUTING_KINDS, t0, t1)
+
+    def probing_bps(self, t0: float, t1: float) -> np.ndarray:
+        """Per-node probing traffic (in+out), bits/second."""
+        return self.bandwidth.bps_per_node(("probe",), t0, t1)
+
+    def max_minute_routing_bps(self, t0: float, t1: float) -> np.ndarray:
+        """Per-node max routing rate over any 1-minute window (Fig 10)."""
+        return self.bandwidth.max_window_bps(60.0, ROUTING_KINDS, t0, t1)
+
+    def route_hops(self) -> np.ndarray:
+        """Current route table: ``hops[src, dst]`` in underlay indices.
+
+        ``-1`` marks pairs with no route (or inactive members).
+        """
+        n = self.n
+        hops = np.full((n, n), -1, dtype=np.int64)
+        np.fill_diagonal(hops, np.arange(n))
+        for node in self.nodes:
+            view = node.router.view
+            if view is None:
+                continue
+            members = view.members
+            for d_idx, d_id in enumerate(members):
+                if d_id == node.id:
+                    continue
+                route = node.router.route_to(d_idx)
+                hops[node.id, d_id] = members[route.hop] if route.hop >= 0 else -1
+        return hops
+
+    def double_failure_counts(self, proximal_only: bool = True) -> np.ndarray:
+        """Per-node count of destinations with a double rendezvous
+        failure right now (Figure 11's sampled quantity)."""
+        counts = np.zeros(self.n, dtype=np.int64)
+        for i, node in enumerate(self.nodes):
+            router = node.router
+            if isinstance(router, QuorumRouter):
+                counts[i] = router.double_failure_count(proximal_only)
+        return counts
+
+    def monitor_down_counts(self) -> np.ndarray:
+        """Per-node count of destinations the monitor currently marks
+        down (Figure 8's "concurrent link failures")."""
+        # alive[me] is always True, so ~alive counts failed peers only.
+        return np.array([int((~node.monitor.alive).sum()) for node in self.nodes])
+
+    def ground_truth_onehop_cost(self) -> np.ndarray:
+        """Best achievable one-hop cost per pair on the *current* underlay.
+
+        Uses the true RTT matrix with currently-down links removed; the
+        effectiveness evaluation compares routers' choices against this.
+        """
+        t = self.sim.now
+        w = self.topology.rtt_matrix_ms.copy()
+        n = self.n
+        for i in range(n):
+            up = self.topology.up_vector(i, t)
+            w[i, ~up] = np.inf
+            w[~up, i] = np.inf
+        np.fill_diagonal(w, 0.0)
+        from repro.core.onehop import best_one_hop_all_pairs
+
+        costs, _ = best_one_hop_all_pairs(w)
+        return costs
+
+
+def build_overlay(
+    n: Optional[int] = None,
+    router: RouterKind = RouterKind.QUORUM,
+    rng: Optional[np.random.Generator] = None,
+    trace: Optional[SyntheticTrace] = None,
+    topology: Optional[Topology] = None,
+    failures: Optional[FailureTable] = None,
+    config: Optional[OverlayConfig] = None,
+    with_freshness: bool = True,
+    active_members: Optional[Sequence[int]] = None,
+    malicious: Sequence[int] = (),
+) -> Overlay:
+    """Assemble a ready-to-run overlay.
+
+    Provide either ``n`` (a PlanetLab-like topology is synthesized), a
+    ``trace``, or a full ``topology``. Node IDs are ``0..n-1``; all nodes
+    are bootstrapped into the same membership view before start, and
+    their probe/routing timers get uniformly random phases, reproducing
+    the paper's unsynchronized recommendation arrivals (§6.2.2).
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    config = config or OverlayConfig()
+
+    if topology is None:
+        if trace is None:
+            if n is None:
+                raise ConfigError("provide one of n, trace, or topology")
+            trace = planetlab_like(n, rng)
+        topology = Topology.from_trace(trace, failures)
+    elif failures is not None:
+        raise ConfigError("pass failures together with n/trace, not topology")
+    n = topology.n
+
+    sim = Simulator()
+    bandwidth = BandwidthRecorder(n, bucket_s=config.bandwidth_bucket_s)
+    freshness = FreshnessRecorder(n) if with_freshness else None
+    transport = DatagramTransport(
+        sim, topology, np.random.default_rng(rng.integers(2**63)), bandwidth
+    )
+    membership = MembershipService(sim, timeout_s=config.membership_timeout_s)
+
+    malicious_set = set(malicious)
+    if malicious_set and router is not RouterKind.QUORUM:
+        raise ConfigError("malicious nodes are modeled for the quorum router")
+    if malicious_set:
+        from repro.overlay.adversarial import MaliciousQuorumRouter
+    nodes = [
+        OverlayNode(
+            node_id=i,
+            sim=sim,
+            transport=transport,
+            topology=topology,
+            config=config,
+            router_kind=router,
+            rng=np.random.default_rng(rng.integers(2**63)),
+            bandwidth=bandwidth,
+            router_cls=MaliciousQuorumRouter if i in malicious_set else None,
+        )
+        for i in range(n)
+    ]
+    active = set(range(n)) if active_members is None else set(active_members)
+    if not active <= set(range(n)):
+        raise ConfigError("active_members must be topology indices")
+    membership.bootstrap(
+        {node.id: node.on_view for node in nodes if node.id in active}
+    )
+
+    routing_interval = config.routing_interval_s(router)
+    for node in nodes:
+        if node.id not in active:
+            continue
+        node.start(
+            monitor_phase=float(rng.uniform(0.05, config.probe_interval_s * 0.2)),
+            router_phase=float(
+                rng.uniform(config.probe_interval_s * 0.2, routing_interval)
+            ),
+        )
+
+    overlay = Overlay(
+        sim=sim,
+        topology=topology,
+        transport=transport,
+        nodes=nodes,
+        config=config,
+        router_kind=router,
+        bandwidth=bandwidth,
+        freshness=freshness,
+        membership=membership,
+    )
+    if with_freshness:
+        overlay.start_freshness_sampling()
+    return overlay

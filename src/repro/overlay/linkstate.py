@@ -1,0 +1,126 @@
+"""Partial link-state tables (§5 "Table Exchange").
+
+Each node maintains a partial ``n x n`` table of estimated latency and
+liveness: its own row comes from the link monitor, the other rows arrive
+via table exchanges (all rows in the full-mesh system; the rendezvous
+clients' rows in the quorum system). Row receive-times are tracked so the
+rendezvous can honor the "use measurements from the last 3 routing
+intervals" rule (§6.2.2) and so stale rows age out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RoutingError
+
+__all__ = ["LinkStateTable"]
+
+
+class LinkStateTable:
+    """Latency/liveness/loss rows for (a subset of) the overlay.
+
+    All arrays are indexed by membership-view position. Rows never
+    received have ``-inf`` update time and all-``inf`` latency.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise RoutingError("table size must be positive")
+        self.n = n
+        self.latency_ms = np.full((n, n), np.inf, dtype=np.float64)
+        self.alive = np.zeros((n, n), dtype=bool)
+        self.loss = np.zeros((n, n), dtype=np.float64)
+        self.row_time = np.full(n, -np.inf, dtype=np.float64)
+
+    def update_row(
+        self,
+        idx: int,
+        latency_ms: np.ndarray,
+        alive: np.ndarray,
+        loss: np.ndarray,
+        now: float,
+    ) -> None:
+        """Install a fresh link-state row for view position ``idx``.
+
+        Dead entries must already be ``inf`` in ``latency_ms`` (the
+        monitor and the wire decoder both guarantee this).
+        """
+        if not 0 <= idx < self.n:
+            raise RoutingError(f"row index {idx} out of range (n={self.n})")
+        if latency_ms.shape != (self.n,):
+            raise RoutingError(
+                f"row length {latency_ms.shape} does not match table n={self.n}"
+            )
+        self.latency_ms[idx] = latency_ms
+        self.alive[idx] = alive
+        self.loss[idx] = loss
+        self.row_time[idx] = now
+
+    def row_age(self, idx: int, now: float) -> float:
+        """Seconds since row ``idx`` was updated (``inf`` if never)."""
+        return now - self.row_time[idx]
+
+    def fresh_rows(self, now: float, max_age: float) -> np.ndarray:
+        """Indices of rows updated within ``max_age`` seconds."""
+        return np.where(now - self.row_time <= max_age)[0]
+
+    def effective_latency(self, idx: int) -> np.ndarray:
+        """Row ``idx`` with dead links forced to ``inf`` (copy)."""
+        row = self.latency_ms[idx].copy()
+        row[~self.alive[idx]] = np.inf
+        row[idx] = 0.0
+        return row
+
+    def effective_cost(
+        self,
+        idx: int,
+        metric: "PathMetric" = None,
+        loss_penalty_ms: float = 1000.0,
+    ) -> np.ndarray:
+        """Row ``idx`` as additive path costs under the chosen metric.
+
+        LATENCY returns EWMA RTTs; LOSS returns ``-log(1 - p)`` so the
+        sum over a path maximizes delivery probability; COMBINED is
+        latency plus ``loss_penalty_ms`` per unit of transformed loss
+        (RON's application metric). Dead links are ``inf`` throughout.
+        """
+        from repro.core.metrics import (
+            PathMetric,
+            combine_latency_loss,
+            loss_to_cost,
+        )
+
+        if metric is None or metric is PathMetric.LATENCY:
+            return self.effective_latency(idx)
+        dead = ~self.alive[idx]
+        if metric is PathMetric.LOSS:
+            row = loss_to_cost(np.clip(self.loss[idx], 0.0, 1.0))
+        else:
+            row = combine_latency_loss(
+                self.latency_ms[idx],
+                np.clip(self.loss[idx], 0.0, 1.0),
+                loss_penalty_ms=loss_penalty_ms,
+            )
+        row = np.asarray(row, dtype=float).copy()
+        row[dead] = np.inf
+        row[idx] = 0.0
+        return row
+
+    def sees_alive(self, dst: int, now: float, max_age: float) -> bool:
+        """Does any fresh row report ``dst`` reachable?
+
+        This is the §4.1 death check: a node inspects its rendezvous
+        clients' tables for evidence that a destination is still alive.
+        The destination's own row does not count (it being fresh already
+        implies a working path, but the caller excludes it for the
+        proximal-failure case), nor does ``dst``'s column entry in its
+        own row.
+        """
+        fresh = self.fresh_rows(now, max_age)
+        fresh = fresh[fresh != dst]
+        if fresh.size == 0:
+            return False
+        return bool(self.alive[fresh, dst].any())

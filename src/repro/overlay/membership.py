@@ -1,0 +1,167 @@
+"""Centralized membership service (§5 "Membership Service").
+
+The paper deliberately uses a simple coordinator rather than a distributed
+consensus protocol: correctness of the quorum computation only requires
+that nodes share a *consistent* membership view, from which each derives
+the identical grid (sorted member IDs filled row-major). Membership
+timeouts are long (30 minutes); transient failures are the overlay
+failover mechanisms' job, not the membership service's.
+
+The coordinator here delivers view updates through simulator callbacks
+(out-of-band with respect to the overlay transport): membership traffic
+is not part of the §6 bandwidth evaluation, and keeping it off the
+transport keeps the accounting exactly comparable to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import MembershipError
+from repro.net.simulator import Simulator
+
+__all__ = ["MembershipView", "MembershipService"]
+
+ViewCallback = Callable[["MembershipView"], None]
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """A versioned, sorted membership snapshot.
+
+    All nodes holding the same version hold the same member tuple and
+    therefore construct identical grids.
+    """
+
+    version: int
+    members: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(set(self.members))) != self.members:
+            raise MembershipError("view members must be sorted and unique")
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+    def index_of(self, member: int) -> int:
+        """Grid/view position of ``member`` (row-major fill order)."""
+        lo, hi = 0, len(self.members)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.members[mid] < member:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == len(self.members) or self.members[lo] != member:
+            raise MembershipError(f"{member} not in view v{self.version}")
+        return lo
+
+    def __contains__(self, member: int) -> bool:
+        try:
+            self.index_of(member)
+            return True
+        except MembershipError:
+            return False
+
+
+class MembershipService:
+    """Coordinator tracking joins, leaves, and refresh timeouts."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timeout_s: float = 1800.0,
+        notify_delay_s: float = 0.05,
+        expiry_check_s: float = 60.0,
+    ):
+        if timeout_s <= 0 or notify_delay_s < 0:
+            raise MembershipError("bad membership service timing parameters")
+        self._sim = sim
+        self._timeout_s = timeout_s
+        self._notify_delay_s = notify_delay_s
+        self._last_refresh: Dict[int, float] = {}
+        self._subscribers: Dict[int, ViewCallback] = {}
+        self._version = 0
+        self._view = MembershipView(version=0, members=())
+        self._expiry_timer = sim.periodic(
+            expiry_check_s, self._expire_stale, phase=expiry_check_s
+        )
+
+    @property
+    def view(self) -> MembershipView:
+        return self._view
+
+    # ------------------------------------------------------------------
+    # Membership changes
+    # ------------------------------------------------------------------
+    def bootstrap(self, members_and_callbacks: Dict[int, ViewCallback]) -> MembershipView:
+        """Install an initial membership synchronously (no churn).
+
+        Experiment harnesses use this so all nodes begin with view v1 at
+        t=0 rather than replaying n join events.
+        """
+        if self._last_refresh:
+            raise MembershipError("bootstrap on a non-empty membership service")
+        now = self._sim.now
+        for member, callback in members_and_callbacks.items():
+            self._last_refresh[member] = now
+            self._subscribers[member] = callback
+        self._rebuild_view()
+        for callback in self._subscribers.values():
+            callback(self._view)
+        return self._view
+
+    def join(self, member: int, callback: ViewCallback) -> None:
+        """Add a member; all members (incl. the new one) get the new view."""
+        if member in self._last_refresh:
+            raise MembershipError(f"{member} is already a member")
+        self._last_refresh[member] = self._sim.now
+        self._subscribers[member] = callback
+        self._rebuild_view()
+        self._notify_all()
+
+    def leave(self, member: int) -> None:
+        """Remove a member; remaining members get the new view."""
+        if member not in self._last_refresh:
+            raise MembershipError(f"{member} is not a member")
+        del self._last_refresh[member]
+        del self._subscribers[member]
+        self._rebuild_view()
+        self._notify_all()
+
+    def refresh(self, member: int) -> None:
+        """Heartbeat: keep ``member`` from expiring."""
+        if member not in self._last_refresh:
+            raise MembershipError(f"{member} is not a member")
+        self._last_refresh[member] = self._sim.now
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rebuild_view(self) -> None:
+        self._version += 1
+        self._view = MembershipView(
+            version=self._version, members=tuple(sorted(self._last_refresh))
+        )
+
+    def _notify_all(self) -> None:
+        view = self._view
+        for callback in list(self._subscribers.values()):
+            self._sim.schedule(self._notify_delay_s, callback, view)
+
+    def _expire_stale(self) -> None:
+        now = self._sim.now
+        stale = [
+            m
+            for m, last in self._last_refresh.items()
+            if now - last > self._timeout_s
+        ]
+        if not stale:
+            return
+        for m in stale:
+            del self._last_refresh[m]
+            del self._subscribers[m]
+        self._rebuild_view()
+        self._notify_all()

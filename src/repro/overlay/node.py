@@ -1,0 +1,149 @@
+"""An overlay node: monitor + router + membership handling glued together."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError, RoutingError
+from repro.net.packet import (
+    LinkStateMessage,
+    MembershipUpdate,
+    Message,
+    RecommendationMessage,
+    RelayEnvelope,
+)
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.net.transport import DatagramTransport
+from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.membership import MembershipView
+from repro.overlay.monitor import LinkMonitor
+from repro.overlay.router_base import Route, RouterBase
+from repro.overlay.router_fullmesh import FullMeshRouter
+from repro.overlay.router_quorum import QuorumRouter
+from repro.overlay.stats import BandwidthRecorder
+
+__all__ = ["OverlayNode"]
+
+
+class OverlayNode:
+    """One participant in the overlay.
+
+    The node owns a link monitor and a router, registers itself with the
+    transport, and dispatches incoming messages. Construction wires the
+    monitor's liveness transitions into the router (the §4.1 immediate
+    failover trigger).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        transport: DatagramTransport,
+        topology: Topology,
+        config: OverlayConfig,
+        router_kind: RouterKind,
+        rng: np.random.Generator,
+        bandwidth: Optional[BandwidthRecorder] = None,
+        router_cls: Optional[type] = None,
+    ):
+        self.id = node_id
+        self.sim = sim
+        self.config = config
+        self.monitor = LinkMonitor(
+            me=node_id,
+            sim=sim,
+            topology=topology,
+            config=config,
+            rng=rng,
+            bandwidth=bandwidth,
+            on_link_down=self._link_down,
+            on_link_up=self._link_up,
+        )
+        if router_cls is None:
+            router_cls = (
+                QuorumRouter if router_kind is RouterKind.QUORUM else FullMeshRouter
+            )
+        self.router: RouterBase = router_cls(
+            me=node_id,
+            sim=sim,
+            transport=transport,
+            monitor=self.monitor,
+            config=config,
+        )
+        self.transport = transport
+        self._started = False
+        transport.register(node_id, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, monitor_phase: float = 0.0, router_phase: float = 0.0) -> None:
+        """Start probing and routing timers (phases stagger nodes)."""
+        if self._started:
+            raise ConfigError(f"node {self.id} already started")
+        if self.router.view is None:
+            raise ConfigError(f"node {self.id} has no membership view yet")
+        self._started = True
+        self.monitor.start(phase=monitor_phase)
+        self.router.start(phase=router_phase)
+
+    def stop(self) -> None:
+        if self._started:
+            self.monitor.stop()
+            self.router.stop()
+            self._started = False
+
+    # ------------------------------------------------------------------
+    # Message / event dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, msg: Message, src: int) -> None:
+        if isinstance(msg, RelayEnvelope):
+            # §4.1 footnote 8: act as the temporary one-hop — unwrap and
+            # forward toward the real target.
+            if msg.target != self.id and msg.inner is not None:
+                self.transport.send(self.id, msg.target, msg.inner)
+            elif msg.inner is not None:
+                self.on_message(msg.inner, msg.inner.origin)
+            return
+        # Routing messages are attributed to their *origin*, which for a
+        # relayed message differs from the transport-level sender.
+        if isinstance(msg, LinkStateMessage):
+            self.router.on_linkstate(msg, msg.origin)
+        elif isinstance(msg, RecommendationMessage):
+            self.router.on_recommendation(msg, msg.origin)
+        elif isinstance(msg, MembershipUpdate):
+            self.on_view(MembershipView(version=msg.version, members=msg.members))
+        # Probes are handled by the vectorized monitor fast path.
+
+    def on_view(self, view: MembershipView) -> None:
+        """Membership callback: rebuild the router's grid and tables.
+
+        A view that no longer contains this node means it was removed
+        (leave or expiry); the node stops participating.
+        """
+        if self.id not in view:
+            self.stop()
+            return
+        self.router.on_view_change(view)
+
+    def _link_down(self, j: int) -> None:
+        self.router.on_link_down(j)
+
+    def _link_up(self, j: int) -> None:
+        self.router.on_link_up(j)
+
+    # ------------------------------------------------------------------
+    # Public routing API
+    # ------------------------------------------------------------------
+    def route_to(self, dst_id: int) -> Route:
+        """Best currently-known route to node ``dst_id`` (by node ID)."""
+        view = self.router.view
+        if view is None:
+            raise RoutingError(f"node {self.id} has no membership view")
+        return self.router.route_to(view.index_of(dst_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OverlayNode id={self.id} router={self.router.kind.value}>"

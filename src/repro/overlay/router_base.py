@@ -1,0 +1,178 @@
+"""Router interface shared by the full-mesh baseline and the quorum router."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.net.packet import LinkStateMessage, RecommendationMessage
+from repro.net.simulator import Simulator
+from repro.net.transport import DatagramTransport
+from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.membership import MembershipView
+from repro.overlay.monitor import LinkMonitor
+
+__all__ = ["Route", "RouterBase"]
+
+#: Route source tags.
+SOURCE_RECOMMENDATION = "recommendation"
+SOURCE_LINKSTATE = "linkstate"
+SOURCE_REDUNDANT = "redundant"
+SOURCE_DIRECT = "direct"
+
+
+@dataclass(frozen=True)
+class Route:
+    """The overlay's current answer for "how do I reach ``dst``?".
+
+    Attributes
+    ----------
+    dst / hop:
+        View indices. ``hop == dst`` means the direct Internet path.
+    cost_ms:
+        Estimated round-trip cost of the path (``inf`` when unknown or
+        unreachable).
+    source:
+        Where the route came from: a rendezvous ``recommendation``, the
+        local ``linkstate`` table (full-mesh router), the ``redundant``
+        neighbor-table fallback of §4.2, or the bare ``direct`` path.
+    age_s:
+        Seconds since the routing information was produced.
+    """
+
+    dst: int
+    hop: int
+    cost_ms: float
+    source: str
+    age_s: float
+
+    @property
+    def is_direct(self) -> bool:
+        return self.hop == self.dst
+
+    @property
+    def usable(self) -> bool:
+        return self.hop >= 0 and np.isfinite(self.cost_ms)
+
+
+class RouterBase(abc.ABC):
+    """Common structure: timers, view handling, message dispatch."""
+
+    kind: RouterKind
+
+    def __init__(
+        self,
+        me: int,
+        sim: Simulator,
+        transport: DatagramTransport,
+        monitor: LinkMonitor,
+        config: OverlayConfig,
+    ):
+        self.me = me
+        self.sim = sim
+        self.transport = transport
+        self.monitor = monitor
+        self.config = config
+        self.view: Optional[MembershipView] = None
+        self.me_idx: int = -1
+        self._timer = None
+        self.dropped_stale_view = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def routing_interval_s(self) -> float:
+        return self.config.routing_interval_s(self.kind)
+
+    def start(self, phase: float = 0.0) -> None:
+        """Begin periodic routing ticks; first tick at ``phase``."""
+        if self._timer is not None:
+            raise RoutingError("router already started")
+        self._timer = self.sim.periodic(self.routing_interval_s, self.tick, phase=phase)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def on_view_change(self, view: MembershipView) -> None:
+        """Install a new membership view and rebuild routing state."""
+        self.view = view
+        self.me_idx = view.index_of(self.me)
+        # View position -> underlay (monitor/topology) index. Node IDs
+        # are underlay indices, so this maps view-indexed tables onto
+        # the monitor's topology-indexed measurement arrays.
+        self._member_ids = np.fromiter(view.members, dtype=np.int64)
+        self._rebuild_for_view(view)
+
+    # ------------------------------------------------------------------
+    # View <-> underlay index projection helpers
+    # ------------------------------------------------------------------
+    def monitor_rows_for_view(self) -> tuple:
+        """This node's measurement row projected onto view positions."""
+        return (
+            self.monitor.latency_row()[self._member_ids],
+            self.monitor.alive_row()[self._member_ids],
+            self.monitor.loss_row()[self._member_ids],
+        )
+
+    def link_up_view(self, view_idx: int) -> bool:
+        """Monitor liveness verdict for the member at ``view_idx``."""
+        return self.monitor.is_up(int(self._member_ids[view_idx]))
+
+    def _require_view(self) -> MembershipView:
+        if self.view is None:
+            raise RoutingError(f"router at node {self.me} has no membership view")
+        return self.view
+
+    # ------------------------------------------------------------------
+    # Abstract parts
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _rebuild_for_view(self, view: MembershipView) -> None:
+        """Reset per-view routing state (tables, grids, failover)."""
+
+    @abc.abstractmethod
+    def tick(self) -> None:
+        """One routing interval's worth of protocol activity."""
+
+    @abc.abstractmethod
+    def on_linkstate(self, msg: LinkStateMessage, src: int) -> None:
+        """Handle a round-1 link-state message."""
+
+    @abc.abstractmethod
+    def on_recommendation(self, msg: RecommendationMessage, src: int) -> None:
+        """Handle a round-2 recommendation message."""
+
+    @abc.abstractmethod
+    def route_to(self, dst_idx: int) -> Route:
+        """Best currently-known route to view index ``dst_idx``."""
+
+    @abc.abstractmethod
+    def last_rec_times(self) -> np.ndarray:
+        """Per-destination time of last routing information (freshness)."""
+
+    def last_rec_times_by_member(self, n_underlay: int) -> np.ndarray:
+        """Freshness vector scattered onto stable underlay indices.
+
+        Entries for non-members (or when this router has no view) are
+        ``-inf``; the instrumentation treats them as "never heard".
+        """
+        out = np.full(n_underlay, -np.inf)
+        if self.view is not None:
+            out[self._member_ids] = self.last_rec_times()
+        return out
+
+    # ------------------------------------------------------------------
+    # Link events (default: ignore; quorum router overrides)
+    # ------------------------------------------------------------------
+    def on_link_down(self, j: int) -> None:
+        """Monitor verdict: link to view index ``j`` went down."""
+
+    def on_link_up(self, j: int) -> None:
+        """Monitor verdict: link to view index ``j`` recovered."""

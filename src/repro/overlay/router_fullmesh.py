@@ -1,0 +1,98 @@
+"""RON's original full-mesh link-state router (the baseline).
+
+Every routing interval (30 s) each node broadcasts its link-state row to
+all ``n - 1`` peers, so everyone holds the full ``n x n`` table and
+computes optimal one-hop routes locally. Per-node communication is
+Θ(n^2) — the scaling wall the paper's algorithm removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.packet import LinkStateMessage, RecommendationMessage
+from repro.overlay.config import RouterKind
+from repro.overlay.linkstate import LinkStateTable
+from repro.overlay.membership import MembershipView
+from repro.overlay.router_base import (
+    SOURCE_DIRECT,
+    SOURCE_LINKSTATE,
+    Route,
+    RouterBase,
+)
+
+__all__ = ["FullMeshRouter"]
+
+
+class FullMeshRouter(RouterBase):
+    """Link-state broadcast routing, as in the original RON."""
+
+    kind = RouterKind.FULL_MESH
+
+    def _rebuild_for_view(self, view: MembershipView) -> None:
+        self.table = LinkStateTable(view.n)
+        self._refresh_own_row()
+
+    def _refresh_own_row(self) -> None:
+        latency, alive, loss = self.monitor_rows_for_view()
+        self.table.update_row(self.me_idx, latency, alive, loss, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Broadcast this node's link state to every other member."""
+        view = self._require_view()
+        self._refresh_own_row()
+        latency, alive, loss = self.monitor_rows_for_view()
+        msg = LinkStateMessage(
+            origin=self.me,
+            latency_ms=latency,
+            alive=alive,
+            loss=loss,
+            view_version=view.version,
+            sent_at=self.sim.now,
+        )
+        for member in view.members:
+            if member != self.me:
+                self.transport.send(self.me, member, msg)
+
+    def on_linkstate(self, msg: LinkStateMessage, src: int) -> None:
+        view = self._require_view()
+        if msg.view_version != view.version or src not in view:
+            self.dropped_stale_view += 1
+            return
+        self.table.update_row(
+            view.index_of(src), msg.latency_ms, msg.alive, msg.loss, self.sim.now
+        )
+
+    def on_recommendation(self, msg: RecommendationMessage, src: int) -> None:
+        # The full-mesh system has no round 2; ignore silently (can occur
+        # transiently when an overlay is reconfigured between algorithms).
+        del msg, src
+
+    # ------------------------------------------------------------------
+    # Route queries
+    # ------------------------------------------------------------------
+    def route_to(self, dst_idx: int) -> Route:
+        """Best one-hop route from the local full table."""
+        self._refresh_own_row()
+        own = self.table.effective_latency(self.me_idx)
+        n = self.table.n
+        # cost via h: own[h] + L[h, dst]; rows never received are inf.
+        hop_costs = own + np.where(
+            self.table.alive[:, dst_idx], self.table.latency_ms[:, dst_idx], np.inf
+        )
+        hop_costs[self.me_idx] = np.inf
+        hop_costs[dst_idx] = own[dst_idx]  # the direct path
+        hop = int(np.argmin(hop_costs))
+        cost = float(hop_costs[hop])
+        if not np.isfinite(cost):
+            return Route(dst=dst_idx, hop=-1, cost_ms=np.inf, source=SOURCE_DIRECT, age_s=np.inf)
+        age = self.sim.now - float(self.table.row_time[dst_idx])
+        source = SOURCE_DIRECT if hop == dst_idx else SOURCE_LINKSTATE
+        return Route(dst=dst_idx, hop=hop, cost_ms=cost, source=source, age_s=age)
+
+    def last_rec_times(self) -> np.ndarray:
+        """Freshness analogue for the baseline: link-state row ages."""
+        return self.table.row_time.copy()

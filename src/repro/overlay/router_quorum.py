@@ -1,0 +1,465 @@
+"""The paper's two-round grid-quorum router (§3-§5).
+
+Every routing interval (15 s) a node:
+
+1. **Round 1** — sends its link-state row to its rendezvous servers (its
+   grid row + column, plus any failover servers currently adopted);
+2. **Round 2** — acting as a rendezvous server, computes the best one-hop
+   path between every pair of its rendezvous clients from the client rows
+   received within the last 3 routing intervals (§6.2.2), and sends each
+   client one recommendation message covering its other clients;
+3. evaluates the §4.1 failover state: proximal failures from the link
+   monitor, remote failures from recommendation omissions/timeouts;
+   adopts failover servers for destinations whose both default rendezvous
+   have failed, with death suppression and reversion.
+
+Route lookups prefer fresh rendezvous recommendations; when they are
+stale or the recommended hop is down, the node falls back to the §4.2
+*redundant link-state* path: it already holds the full tables of its
+~2 sqrt(n) clients, so it evaluates one-hop routes through them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.failover import FailoverConfig, FailoverManager, FailoverPoll
+from repro.core.grid import GridQuorum
+from repro.net.packet import LinkStateMessage, RecommendationMessage, RelayEnvelope
+from repro.overlay.config import RouterKind
+from repro.overlay.linkstate import LinkStateTable
+from repro.overlay.membership import MembershipView
+from repro.overlay.router_base import (
+    SOURCE_DIRECT,
+    SOURCE_RECOMMENDATION,
+    SOURCE_REDUNDANT,
+    Route,
+    RouterBase,
+)
+from repro.overlay.stats import CounterSet
+
+__all__ = ["QuorumRouter"]
+
+
+class QuorumRouter(RouterBase):
+    """Two-round quorum routing with rapid rendezvous failover."""
+
+    kind = RouterKind.QUORUM
+
+    # ------------------------------------------------------------------
+    # View handling
+    # ------------------------------------------------------------------
+    def _rebuild_for_view(self, view: MembershipView) -> None:
+        n = view.n
+        # The grid is built over view *indices* (0..n-1): members are
+        # sorted and filled row-major, so index order == grid order.
+        self.grid = GridQuorum(list(range(n)))
+        self.table = LinkStateTable(n)
+        self.counters = CounterSet()
+
+        if not hasattr(self, "_rng"):
+            # Failover choices must be node-local randomness; derive a
+            # stream from the node id so runs stay deterministic.
+            self._rng = np.random.default_rng(0x5EED ^ (self.me * 2654435761 % 2**31))
+        self.failover = FailoverManager(
+            self.me_idx,
+            self._rng,
+            FailoverConfig(remote_timeout_s=self.config.remote_timeout_s()),
+        )
+        self.failover.set_grid(self.grid, self.sim.now)
+        self._extra_servers: Set[int] = set()
+        self._relay_servers: Set[int] = set()
+        #: client view-index -> relay node view-index for replies
+        #: (§4.1 footnote 8).
+        self._reply_relay: Dict[int, int] = {}
+        self._last_double_failures = 0
+
+        # Route state, indexed by view position.
+        self.route_hop = np.full(n, -1, dtype=np.int64)
+        self.route_time = np.full(n, -np.inf)
+        self.route_sent_at = np.full(n, -np.inf)
+        self.route_server = np.full(n, -1, dtype=np.int64)
+        # Secondary candidate (most recent recommendation from a
+        # *different* rendezvous) for §7-style cross-validation.
+        self.route_hop2 = np.full(n, -1, dtype=np.int64)
+        self.route_time2 = np.full(n, -np.inf)
+        self.route_server2 = np.full(n, -1, dtype=np.int64)
+        self._refresh_own_row()
+
+    def _refresh_own_row(self) -> None:
+        latency, alive, loss = self.monitor_rows_for_view()
+        self.table.update_row(self.me_idx, latency, alive, loss, self.sim.now)
+
+    def _cost_row(self, idx: int) -> np.ndarray:
+        """A stored row as additive costs under the configured metric."""
+        return self.table.effective_cost(
+            idx, self.config.path_metric, self.config.loss_penalty_ms
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol: periodic tick
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        view = self._require_view()
+        self._refresh_own_row()
+        self._evaluate_failover()
+        self._send_linkstate(self._server_indices())
+        self._send_recommendations()
+
+    def _server_indices(self) -> List[int]:
+        """Default rendezvous servers plus adopted failover servers."""
+        base = list(self.grid.servers(self.me_idx, include_self=False))
+        extras = [s for s in self._extra_servers if s not in set(base)]
+        return base + extras
+
+    def _send_linkstate(self, server_indices: List[int]) -> None:
+        view = self._require_view()
+        latency, alive, loss = self.monitor_rows_for_view()
+        msg = LinkStateMessage(
+            origin=self.me,
+            latency_ms=latency,
+            alive=alive,
+            loss=loss,
+            view_version=view.version,
+            sent_at=self.sim.now,
+        )
+        for idx in server_indices:
+            if (
+                idx in self._relay_servers
+                and self.config.relay_failover
+                and not self.link_up_view(idx)
+            ):
+                self._send_via_relay(idx, msg)
+            else:
+                self.transport.send(self.me, view.members[idx], msg)
+
+    def _pick_relay(self, server_idx: int) -> Optional[int]:
+        """A reachable client whose table shows the server alive —
+        the footnote-8 temporary one-hop."""
+        fresh = self._fresh_client_indices()
+        best: Optional[int] = None
+        best_cost = np.inf
+        own = self.table.effective_latency(self.me_idx)
+        for c in fresh:
+            c = int(c)
+            if c == server_idx or not self.link_up_view(c):
+                continue
+            leg = self.table.effective_latency(c)[server_idx]
+            cost = own[c] + leg
+            if np.isfinite(cost) and cost < best_cost:
+                best, best_cost = c, cost
+        return best
+
+    def _send_via_relay(self, server_idx: int, msg: LinkStateMessage) -> None:
+        view = self._require_view()
+        relay_idx = self._pick_relay(server_idx)
+        if relay_idx is None:
+            self.counters.incr("relay_no_intermediate")
+            return
+        relayed = LinkStateMessage(
+            origin=msg.origin,
+            latency_ms=msg.latency_ms,
+            alive=msg.alive,
+            loss=msg.loss,
+            view_version=msg.view_version,
+            sent_at=msg.sent_at,
+            relay_via=view.members[relay_idx],
+        )
+        envelope = RelayEnvelope(
+            origin=self.me, inner=relayed, target=view.members[server_idx]
+        )
+        self.counters.incr("relay_linkstate_sent")
+        self.transport.send(self.me, view.members[relay_idx], envelope)
+
+    def _fresh_client_indices(self) -> np.ndarray:
+        """View indices of clients whose rows are usable (≤ 3r old)."""
+        fresh = self.table.fresh_rows(self.sim.now, self.config.rec_memory_s())
+        return fresh[fresh != self.me_idx]
+
+    def _send_recommendations(self) -> None:
+        """Round 2: best one-hop per pair of fresh clients (§3).
+
+        A destination is only covered while this rendezvous both holds a
+        fresh row for it *and* believes its own link to it is up — the
+        latter is what turns a remote link failure into a prompt
+        recommendation omission (§4.1 failure detection).
+        """
+        view = self._require_view()
+        fresh = self._fresh_client_indices()
+        if fresh.size < 2:
+            return
+        # Coverage filter: destinations this node can reach directly are
+        # recommendable; unreachable ones are omitted (the §4.1 remote-
+        # failure signal). Clients behind a relay (footnote 8) are not
+        # recommendable as destinations but still *receive* messages.
+        reachable = np.array([self.link_up_view(int(c)) for c in fresh])
+        covered = fresh[reachable]
+        relay_clients = [
+            int(c)
+            for c in fresh[~reachable]
+            if int(c) in self._reply_relay and self.config.relay_failover
+        ]
+        if covered.size < 1 or covered.size + len(relay_clients) < 2:
+            return
+        recipients = [int(c) for c in covered] + relay_clients
+        rows_by_idx = {
+            int(c): self._cost_row(int(c)) for c in fresh
+        }
+        covered_rows = np.stack([rows_by_idx[int(c)] for c in covered])
+        covered_ids = [int(c) for c in covered]
+        now = self.sim.now
+        for a_idx in recipients:
+            totals = rows_by_idx[a_idx][None, :] + covered_rows  # (m, n)
+            best_h = np.argmin(totals, axis=1)
+            best_cost = totals[np.arange(len(covered_ids)), best_h]
+            entries: List[Tuple[int, int]] = []
+            for b_pos, b_idx in enumerate(covered_ids):
+                if b_idx == a_idx:
+                    continue
+                hop = int(best_h[b_pos])
+                if not np.isfinite(best_cost[b_pos]):
+                    continue  # no usable path between these clients
+                if hop == a_idx or hop == b_idx:
+                    hop = b_idx  # canonical "direct"
+                entries.append((b_idx, hop))
+            if not entries:
+                continue
+            msg = RecommendationMessage(
+                origin=self.me,
+                entries=entries,
+                view_version=view.version,
+                sent_at=now,
+                timestamped=self.config.timestamped_recommendations,
+            )
+            if a_idx in self._reply_relay and not self.link_up_view(a_idx):
+                relay_idx = self._reply_relay[a_idx]
+                if self.link_up_view(relay_idx):
+                    envelope = RelayEnvelope(
+                        origin=self.me, inner=msg, target=view.members[a_idx]
+                    )
+                    self.counters.incr("relay_recommendation_sent")
+                    self.transport.send(self.me, view.members[relay_idx], envelope)
+                continue
+            self.transport.send(self.me, view.members[a_idx], msg)
+
+    # ------------------------------------------------------------------
+    # Protocol: message handlers
+    # ------------------------------------------------------------------
+    def on_linkstate(self, msg: LinkStateMessage, src: int) -> None:
+        view = self._require_view()
+        if msg.view_version != view.version or src not in view:
+            self.dropped_stale_view += 1
+            return
+        src_idx = view.index_of(src)
+        self.table.update_row(src_idx, msg.latency_ms, msg.alive, msg.loss, self.sim.now)
+        if msg.relay_via is not None and msg.relay_via in view:
+            # Footnote 8: this client is behind a broken direct link;
+            # route recommendations back through the same relay.
+            self._reply_relay[src_idx] = view.index_of(msg.relay_via)
+        else:
+            self._reply_relay.pop(src_idx, None)
+
+    def on_recommendation(self, msg: RecommendationMessage, src: int) -> None:
+        view = self._require_view()
+        if msg.view_version != view.version or src not in view:
+            self.dropped_stale_view += 1
+            return
+        src_idx = view.index_of(src)
+        now = self.sim.now
+        timestamps_on = self.config.timestamped_recommendations
+        covered: Set[int] = set()
+        for dst_idx, hop_idx in msg.entries:
+            if not (0 <= dst_idx < view.n and 0 <= hop_idx < view.n):
+                continue
+            if dst_idx == self.me_idx:
+                continue
+            covered.add(dst_idx)
+            prev_time = float(self.route_time[dst_idx])
+            self.route_time[dst_idx] = now
+            if timestamps_on and msg.sent_at < self.route_sent_at[dst_idx]:
+                # Footnote 11: an out-of-order (older-computed)
+                # recommendation must not clobber a newer best hop.
+                continue
+            if (
+                self.route_server[dst_idx] >= 0
+                and self.route_server[dst_idx] != src_idx
+            ):
+                # Keep the displaced rendezvous' opinion as the
+                # secondary candidate for cross-validation.
+                self.route_hop2[dst_idx] = self.route_hop[dst_idx]
+                self.route_time2[dst_idx] = prev_time
+                self.route_server2[dst_idx] = self.route_server[dst_idx]
+            self.route_hop[dst_idx] = hop_idx
+            self.route_sent_at[dst_idx] = msg.sent_at
+            self.route_server[dst_idx] = src_idx
+        self.failover.note_recommendations(src_idx, covered, now)
+
+    # ------------------------------------------------------------------
+    # Failover (§4.1)
+    # ------------------------------------------------------------------
+    def _sees_alive(self, dst_idx: int) -> bool:
+        return self.table.sees_alive(
+            dst_idx, self.sim.now, self.config.rec_memory_s()
+        )
+
+    def _evaluate_failover(self) -> FailoverPoll:
+        poll = self.failover.poll(
+            self.sim.now,
+            self.link_up_view,
+            self._sees_alive,
+            allow_relay=self.config.relay_failover,
+        )
+        self._extra_servers = set(poll.extra_servers)
+        self._relay_servers = set(poll.relay_servers)
+        newly_adopted = sorted(
+            {s for _, s in poll.adopted} | {s for _, s in poll.adopted_via_relay}
+        )
+        if newly_adopted:
+            # Send link state to newly adopted failover servers right
+            # away (scenario 2's "immediately selects ... and sends").
+            self.counters.incr(
+                "failover_adoptions",
+                len(poll.adopted) + len(poll.adopted_via_relay),
+            )
+            if poll.adopted_via_relay:
+                self.counters.incr(
+                    "failover_relay_adoptions", len(poll.adopted_via_relay)
+                )
+            self._refresh_own_row()
+            self._send_linkstate(newly_adopted)
+        if poll.suppressed:
+            self.counters.incr("failover_suppressed_polls", poll.suppressed)
+        self._last_double_failures = poll.double_failures
+        return poll
+
+    def on_link_down(self, j: int) -> None:
+        """Immediate failover evaluation on a proximal link failure."""
+        if self.view is not None:
+            self.counters.incr("link_down_events")
+            self._evaluate_failover()
+
+    def on_link_up(self, j: int) -> None:
+        if self.view is not None:
+            self._evaluate_failover()
+
+    def double_failure_count(self, proximal_only: bool = True) -> int:
+        """Destinations whose both default rendezvous are currently
+        failed (Figure 11's per-interval quantity).
+
+        ``proximal_only`` matches the paper's measurement ("failures *to*
+        both of the destination's default rendezvous nodes" — this node's
+        own links to them); pass False for the full §4 semantics that
+        also count remote rendezvous failures.
+        """
+        poll = self._evaluate_failover()
+        return poll.proximal_double_failures if proximal_only else poll.double_failures
+
+    # ------------------------------------------------------------------
+    # Route queries
+    # ------------------------------------------------------------------
+    def _redundant_route(self, dst_idx: int) -> Optional[Route]:
+        """§4.2 fallback: one-hop via a client whose table we hold."""
+        now = self.sim.now
+        fresh = self._fresh_client_indices()
+        fresh = fresh[fresh != dst_idx]
+        if fresh.size == 0:
+            return None
+        own = self._cost_row(self.me_idx)
+        via = np.array(
+            [own[int(c)] + self._cost_row(int(c))[dst_idx] for c in fresh]
+        )
+        pos = int(np.argmin(via))
+        cost = float(via[pos])
+        if not np.isfinite(cost):
+            return None
+        hop = int(fresh[pos])
+        return Route(
+            dst=dst_idx, hop=hop, cost_ms=cost, source=SOURCE_REDUNDANT, age_s=0.0
+        )
+
+    def route_to(self, dst_idx: int) -> Route:
+        """Preferred order: fresh recommendation, redundant table, direct."""
+        view = self._require_view()
+        if dst_idx == self.me_idx:
+            return Route(dst=dst_idx, hop=dst_idx, cost_ms=0.0, source=SOURCE_DIRECT, age_s=0.0)
+        now = self.sim.now
+        own = self._cost_row(self.me_idx)
+
+        rec_age = now - float(self.route_time[dst_idx])
+        hop = int(self.route_hop[dst_idx])
+        rec_fresh = rec_age <= 2.0 * self.routing_interval_s and hop >= 0
+        if rec_fresh and self.config.verify_recommendations:
+            hop = self._cross_validated_hop(own, dst_idx, hop, now)
+        if rec_fresh and (hop == dst_idx or self.link_up_view(hop)):
+            cost = self._estimate_cost(own, hop, dst_idx)
+            return Route(
+                dst=dst_idx,
+                hop=hop,
+                cost_ms=cost,
+                source=SOURCE_RECOMMENDATION,
+                age_s=rec_age,
+            )
+        fallback = self._redundant_route(dst_idx)
+        if fallback is not None:
+            return fallback
+        if self.link_up_view(dst_idx):
+            return Route(
+                dst=dst_idx,
+                hop=dst_idx,
+                cost_ms=float(own[dst_idx]),
+                source=SOURCE_DIRECT,
+                age_s=0.0,
+            )
+        return Route(dst=dst_idx, hop=-1, cost_ms=np.inf, source=SOURCE_DIRECT, age_s=np.inf)
+
+    def _cross_validated_hop(
+        self, own: np.ndarray, dst_idx: int, primary: int, now: float
+    ) -> int:
+        """§7 defense: compare the two rendezvous' candidate hops locally.
+
+        The grid quorum gives every pair two rendezvous; when their
+        recommendations disagree, the node evaluates both hops against
+        the link-state rows it already holds (its own measurements plus
+        its ~2√n clients' tables) and keeps the cheaper. A single lying
+        rendezvous therefore cannot redirect traffic: its self-serving
+        hop is priced by *its own* announced link state, which honest
+        measurement keeps truthful.
+        """
+        secondary = int(self.route_hop2[dst_idx])
+        sec_age = now - float(self.route_time2[dst_idx])
+        if secondary < 0 or sec_age > 2.0 * self.routing_interval_s:
+            return primary
+        if secondary == primary:
+            return primary
+        self.counters.incr("rec_conflicts")
+        if secondary != dst_idx and not self.link_up_view(secondary):
+            return primary
+        primary_cost = self._estimate_cost(own, primary, dst_idx)
+        secondary_cost = self._estimate_cost(own, secondary, dst_idx)
+        if secondary_cost < primary_cost:
+            self.counters.incr("rec_conflicts_overridden")
+            return secondary
+        return primary
+
+    def _estimate_cost(self, own: np.ndarray, hop: int, dst_idx: int) -> float:
+        """Best local estimate of the recommended path's cost.
+
+        Recommendations carry no cost on the wire (4 bytes/entry, §5), so
+        the node combines its own first-leg measurement with the hop's
+        row if it happens to hold it.
+        """
+        if hop == dst_idx:
+            return float(own[dst_idx])
+        first_leg = float(own[hop])
+        hop_age = self.table.row_age(hop, self.sim.now)
+        if hop_age <= self.config.rec_memory_s():
+            second = float(self._cost_row(hop)[dst_idx])
+        else:
+            second = np.nan  # unknown; cost is a lower-bound estimate
+        return first_leg + (second if np.isfinite(second) else 0.0)
+
+    def last_rec_times(self) -> np.ndarray:
+        """Per-destination time of the last recommendation (Figure 12)."""
+        return self.route_time.copy()

@@ -1,0 +1,285 @@
+"""Measurement instrumentation: bandwidth accounting and freshness.
+
+The evaluation quantities of §6 are all derived from two instruments:
+
+* :class:`BandwidthRecorder` — per-node, per-kind, per-direction byte
+  counters bucketed in fixed-width time bins. Mean rates (Figure 9/10)
+  and worst 1-minute windows (Figure 10) are computed from the bins.
+* :class:`FreshnessRecorder` — snapshots, every 30 s, of each node's
+  "time since last recommendation received" per destination (Figures
+  12-14).
+
+Both are passive: the overlay calls ``record_*``; experiment drivers read
+aggregates afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.net.packet import (
+    KIND_LINKSTATE,
+    KIND_MEMBERSHIP,
+    KIND_PROBE,
+    KIND_RECOMMENDATION,
+)
+
+__all__ = [
+    "ROUTING_KINDS",
+    "ALL_KINDS",
+    "BandwidthRecorder",
+    "FreshnessRecorder",
+    "CounterSet",
+]
+
+#: Message kinds that count as "routing traffic" in Figures 9 and 10.
+ROUTING_KINDS: Tuple[str, ...] = (KIND_LINKSTATE, KIND_RECOMMENDATION)
+
+ALL_KINDS: Tuple[str, ...] = (
+    KIND_PROBE,
+    KIND_LINKSTATE,
+    KIND_RECOMMENDATION,
+    KIND_MEMBERSHIP,
+)
+
+
+class BandwidthRecorder:
+    """Per-node byte counters in fixed-width time buckets.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    bucket_s:
+        Bucket width in seconds. Must evenly divide the window lengths
+        you later query (60 s windows with the default 10 s buckets).
+    """
+
+    def __init__(self, n: int, bucket_s: float = 10.0):
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        if bucket_s <= 0:
+            raise ConfigError("bucket_s must be positive")
+        self.n = n
+        self.bucket_s = float(bucket_s)
+        # (direction, kind) -> array of shape (n, num_buckets), grown lazily.
+        self._bins: Dict[Tuple[str, str], np.ndarray] = {}
+        self._num_buckets = 64
+
+    def _bucket(self, t: float) -> int:
+        return int(t // self.bucket_s)
+
+    def _array(self, direction: str, kind: str, bucket: int) -> np.ndarray:
+        arr = self._bins.get((direction, kind))
+        if arr is None:
+            arr = np.zeros((self.n, self._num_buckets), dtype=np.int64)
+            self._bins[(direction, kind)] = arr
+        if bucket >= arr.shape[1]:
+            new_cols = max(bucket + 1, arr.shape[1] * 2)
+            grown = np.zeros((self.n, new_cols), dtype=np.int64)
+            grown[:, : arr.shape[1]] = arr
+            self._bins[(direction, kind)] = grown
+            self._num_buckets = max(self._num_buckets, new_cols)
+            arr = grown
+        return arr
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_out(self, node: int, kind: str, nbytes: int, t: float) -> None:
+        """Count ``nbytes`` sent by ``node`` at time ``t``."""
+        self._array("out", kind, self._bucket(t))[node, self._bucket(t)] += nbytes
+
+    def record_in(self, node: int, kind: str, nbytes: int, t: float) -> None:
+        """Count ``nbytes`` received by ``node`` at time ``t``."""
+        self._array("in", kind, self._bucket(t))[node, self._bucket(t)] += nbytes
+
+    def record_out_many(
+        self, mask: np.ndarray, kind: str, nbytes_each: int, t: float
+    ) -> None:
+        """Count ``nbytes_each`` sent by every node selected by ``mask``.
+
+        Used by the vectorized probing fast path (one call per probe
+        round instead of one per destination).
+        """
+        bucket = self._bucket(t)
+        self._array("out", kind, bucket)[mask, bucket] += nbytes_each
+
+    def record_in_many(
+        self, mask: np.ndarray, kind: str, nbytes_each: int, t: float
+    ) -> None:
+        """Count ``nbytes_each`` received by every node selected by ``mask``."""
+        bucket = self._bucket(t)
+        self._array("in", kind, bucket)[mask, bucket] += nbytes_each
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _slice(self, t0: float, t1: float) -> Tuple[int, int]:
+        if t1 <= t0:
+            raise ConfigError(f"bad window [{t0}, {t1})")
+        return self._bucket(t0), self._bucket(t1 - 1e-9) + 1
+
+    def bytes_per_node(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        t0: float = 0.0,
+        t1: Optional[float] = None,
+        directions: Tuple[str, ...] = ("in", "out"),
+    ) -> np.ndarray:
+        """Total bytes per node over ``[t0, t1)`` for the given kinds.
+
+        Both directions are summed by default, matching the paper's
+        "incoming and outgoing" accounting.
+        """
+        if t1 is None:
+            t1 = self._num_buckets * self.bucket_s
+        kinds = tuple(kinds) if kinds is not None else ALL_KINDS
+        b0, b1 = self._slice(t0, t1)
+        total = np.zeros(self.n, dtype=np.int64)
+        for (direction, kind), arr in self._bins.items():
+            if direction in directions and kind in kinds:
+                hi = min(b1, arr.shape[1])
+                if hi > b0:
+                    total += arr[:, b0:hi].sum(axis=1)
+        return total
+
+    def bps_per_node(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        t0: float = 0.0,
+        t1: Optional[float] = None,
+    ) -> np.ndarray:
+        """Mean bits/second per node (in+out) over ``[t0, t1)``.
+
+        The rate is computed over the bucket-aligned window actually
+        summed, so unaligned ``t0``/``t1`` do not skew it.
+        """
+        if t1 is None:
+            t1 = self._num_buckets * self.bucket_s
+        b0, b1 = self._slice(t0, t1)
+        duration = (b1 - b0) * self.bucket_s
+        return self.bytes_per_node(kinds, t0, t1) * 8.0 / duration
+
+    def max_window_bps(
+        self,
+        window_s: float = 60.0,
+        kinds: Optional[Iterable[str]] = None,
+        t0: float = 0.0,
+        t1: Optional[float] = None,
+    ) -> np.ndarray:
+        """Per-node maximum rate over any aligned ``window_s`` window.
+
+        This is Figure 10's "max (any 1-min window)" series.
+        """
+        if t1 is None:
+            t1 = self._num_buckets * self.bucket_s
+        per_window = round(window_s / self.bucket_s)
+        if per_window < 1 or abs(per_window * self.bucket_s - window_s) > 1e-9:
+            raise ConfigError(
+                f"window {window_s}s must be a multiple of bucket {self.bucket_s}s"
+            )
+        kinds = tuple(kinds) if kinds is not None else ALL_KINDS
+        b0, b1 = self._slice(t0, t1)
+        summed = np.zeros((self.n, b1 - b0), dtype=np.int64)
+        for (direction, kind), arr in self._bins.items():
+            if kind in kinds:
+                hi = min(b1, arr.shape[1])
+                if hi > b0:
+                    summed[:, : hi - b0] += arr[:, b0:hi]
+        usable = (summed.shape[1] // per_window) * per_window
+        if usable == 0:
+            raise ConfigError("window longer than measurement period")
+        windows = summed[:, :usable].reshape(self.n, -1, per_window).sum(axis=2)
+        return windows.max(axis=1) * 8.0 / window_s
+
+
+class FreshnessRecorder:
+    """Periodic snapshots of per-(src, dst) recommendation age.
+
+    ``sample(now, last_rec_times)`` appends one ``(n, n)`` age matrix.
+    Figures 12-14 reduce over the sample axis (median / mean / 97% / max).
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        self.n = n
+        self._samples: List[np.ndarray] = []
+        self._times: List[float] = []
+
+    def sample(self, now: float, last_rec_time: np.ndarray) -> None:
+        """Record ages ``now - last_rec_time`` (matrix of shape (n, n)).
+
+        Entries that never received a recommendation (``-inf`` in
+        ``last_rec_time``) record as ``inf`` age; the diagonal records 0.
+        """
+        if last_rec_time.shape != (self.n, self.n):
+            raise ConfigError(
+                f"last_rec_time must be ({self.n}, {self.n}), "
+                f"got {last_rec_time.shape}"
+            )
+        age = (now - last_rec_time).astype(np.float32)
+        np.fill_diagonal(age, 0.0)
+        self._samples.append(age)
+        self._times.append(now)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self._samples)
+
+    @property
+    def sample_times(self) -> List[float]:
+        return list(self._times)
+
+    def ages(self) -> np.ndarray:
+        """All samples stacked, shape ``(num_samples, n, n)``."""
+        if not self._samples:
+            raise ConfigError("no freshness samples recorded")
+        return np.stack(self._samples)
+
+    def per_pair_stats(self) -> Dict[str, np.ndarray]:
+        """Per-(src, dst) median / average / 97th-percentile / max ages.
+
+        Returns a dict of ``(n, n)`` matrices. The diagonal is zero and
+        should be excluded by callers.
+        """
+        ages = self.ages()
+        finite = np.where(np.isfinite(ages), ages, np.nan)
+        with np.errstate(invalid="ignore"):
+            stats = {
+                "median": np.nanmedian(finite, axis=0),
+                "average": np.nanmean(finite, axis=0),
+                "p97": np.nanpercentile(finite, 97, axis=0),
+                "max": ages.max(axis=0),
+            }
+        for key, mat in stats.items():
+            stats[key] = np.where(np.isnan(mat), np.inf, mat)
+        return stats
+
+    def per_destination_stats(self, src: int) -> Dict[str, np.ndarray]:
+        """Figure 13/14 view: age stats for each destination of ``src``."""
+        if not 0 <= src < self.n:
+            raise ConfigError(f"src {src} out of range")
+        stats = self.per_pair_stats()
+        return {key: mat[src] for key, mat in stats.items()}
+
+
+class CounterSet:
+    """Named integer counters (failovers, suppressions, retries, ...)."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)

@@ -1,0 +1,192 @@
+"""Compact wire formats for routing messages (§5 "Table Exchange").
+
+The paper's implementation exchanges link-state tables using two bytes for
+latency (milliseconds) and one byte for liveness and loss, so a link-state
+message payload is ``3 n`` bytes. A recommendation message carries, per
+entry, a 2-byte destination ID and a 2-byte one-hop ID (4 bytes/entry).
+
+The per-message header constant (UDP/IP plus the application header) is
+calibrated to **46 bytes**, which makes the closed-form bandwidth figures
+in §6.1 come out exactly as printed in the paper:
+
+* probing (in+out):            ``49.1 n``  bps
+* full-mesh routing (in+out):  ``1.6 n^2 + 24.5 n``  bps
+* quorum routing (in+out):     ``6.4 n^1.5 + 17.1 n + 196.3 sqrt(n)`` bps
+
+Encoding notes:
+
+* latency is clamped to 16 bits; the sentinel ``0xFFFF`` means "dead /
+  unreachable" and decodes to ``inf``;
+* the liveness byte packs an alive flag (bit 7) and loss percentage in
+  [0, 100] (bits 0-6);
+* multi-hop link state appends a 2-byte ``Sec`` (second-node) identity per
+  entry, and multi-hop recommendations append a 2-byte path cost, as
+  required by the §3 multi-hop extension.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WireFormatError
+
+__all__ = [
+    "HEADER_BYTES",
+    "LINKSTATE_ENTRY_BYTES",
+    "RECOMMENDATION_ENTRY_BYTES",
+    "MULTIHOP_LS_ENTRY_BYTES",
+    "MULTIHOP_REC_ENTRY_BYTES",
+    "ASYMMETRIC_LS_ENTRY_BYTES",
+    "TIMESTAMPED_REC_ENTRY_BYTES",
+    "PROBE_BYTES",
+    "NODE_ID_BYTES",
+    "LATENCY_DEAD",
+    "MAX_ENCODABLE_LATENCY_MS",
+    "linkstate_message_bytes",
+    "recommendation_message_bytes",
+    "membership_message_bytes",
+    "encode_linkstate",
+    "decode_linkstate",
+    "encode_recommendations",
+    "decode_recommendations",
+]
+
+#: Per-message overhead (UDP/IP + application header), calibrated to the
+#: paper's bandwidth coefficients — see module docstring.
+HEADER_BYTES = 46
+
+#: 2 B latency + 1 B liveness/loss per destination (§5).
+LINKSTATE_ENTRY_BYTES = 3
+
+#: 2 B destination ID + 2 B one-hop ID per recommendation (§5).
+RECOMMENDATION_ENTRY_BYTES = 4
+
+#: Multi-hop link state adds a 2 B Sec identity per entry (§3).
+MULTIHOP_LS_ENTRY_BYTES = LINKSTATE_ENTRY_BYTES + 2
+
+#: Asymmetric link state carries both directions' latency (§3 footnote
+#: 2): 2 B outgoing + 2 B incoming + 1 B liveness/loss per entry.
+ASYMMETRIC_LS_ENTRY_BYTES = LINKSTATE_ENTRY_BYTES + 2
+
+#: Timestamped recommendations (§6.2.2 footnote 11) add a 2 B timestamp.
+TIMESTAMPED_REC_ENTRY_BYTES = RECOMMENDATION_ENTRY_BYTES + 2
+
+#: Multi-hop recommendations add a 2 B path cost per entry (§3).
+MULTIHOP_REC_ENTRY_BYTES = RECOMMENDATION_ENTRY_BYTES + 2
+
+#: A probe (or probe reply) is a bare header.
+PROBE_BYTES = HEADER_BYTES
+
+#: Node IDs are 2-byte integers (§5).
+NODE_ID_BYTES = 2
+
+#: Wire sentinel for a dead/unreachable destination.
+LATENCY_DEAD = 0xFFFF
+
+#: Largest finite latency the 16-bit field can carry.
+MAX_ENCODABLE_LATENCY_MS = LATENCY_DEAD - 1
+
+_ALIVE_BIT = 0x80
+_LOSS_MASK = 0x7F
+
+
+def linkstate_message_bytes(n: int, multihop: bool = False) -> int:
+    """Wire size of a link-state message covering ``n`` destinations."""
+    entry = MULTIHOP_LS_ENTRY_BYTES if multihop else LINKSTATE_ENTRY_BYTES
+    return HEADER_BYTES + entry * n
+
+def recommendation_message_bytes(entries: int, multihop: bool = False) -> int:
+    """Wire size of a recommendation message with ``entries`` entries."""
+    entry = MULTIHOP_REC_ENTRY_BYTES if multihop else RECOMMENDATION_ENTRY_BYTES
+    return HEADER_BYTES + entry * entries
+
+def membership_message_bytes(members: int) -> int:
+    """Wire size of a membership view message listing ``members`` IDs."""
+    return HEADER_BYTES + NODE_ID_BYTES * members
+
+
+# ----------------------------------------------------------------------
+# Link-state codec
+# ----------------------------------------------------------------------
+def encode_linkstate(
+    latency_ms: np.ndarray,
+    alive: np.ndarray,
+    loss: np.ndarray,
+) -> bytes:
+    """Encode one link-state row into its 3-bytes-per-entry wire form.
+
+    ``latency_ms`` may contain ``inf`` for unreachable destinations; those
+    entries are encoded with the dead sentinel regardless of ``alive``.
+    """
+    latency_ms = np.asarray(latency_ms, dtype=float)
+    alive = np.asarray(alive, dtype=bool)
+    loss = np.asarray(loss, dtype=float)
+    n = latency_ms.shape[0]
+    if alive.shape != (n,) or loss.shape != (n,):
+        raise WireFormatError("latency, alive, and loss must have equal length")
+    if np.any((loss < 0) | (loss > 1)):
+        raise WireFormatError("loss values must be probabilities")
+
+    dead = ~alive | ~np.isfinite(latency_ms)
+    lat = np.clip(np.where(dead, 0, latency_ms), 0, MAX_ENCODABLE_LATENCY_MS)
+    lat = np.rint(lat).astype(np.uint16)
+    lat[dead] = LATENCY_DEAD
+
+    live_byte = np.rint(loss * 100.0).astype(np.uint8) & _LOSS_MASK
+    live_byte[~dead] |= _ALIVE_BIT
+
+    out = bytearray()
+    for k in range(n):
+        out += struct.pack(">HB", int(lat[k]), int(live_byte[k]))
+    return bytes(out)
+
+
+def decode_linkstate(data: bytes, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_linkstate`.
+
+    Returns ``(latency_ms, alive, loss)`` where dead entries decode to
+    ``inf`` latency.
+    """
+    expected = LINKSTATE_ENTRY_BYTES * n
+    if len(data) != expected:
+        raise WireFormatError(
+            f"link-state payload is {len(data)} bytes, expected {expected}"
+        )
+    latency = np.empty(n, dtype=float)
+    alive = np.empty(n, dtype=bool)
+    loss = np.empty(n, dtype=float)
+    for k in range(n):
+        raw_lat, live_byte = struct.unpack_from(">HB", data, k * 3)
+        is_alive = bool(live_byte & _ALIVE_BIT) and raw_lat != LATENCY_DEAD
+        alive[k] = is_alive
+        latency[k] = float(raw_lat) if is_alive else np.inf
+        loss[k] = (live_byte & _LOSS_MASK) / 100.0
+    return latency, alive, loss
+
+
+# ----------------------------------------------------------------------
+# Recommendation codec
+# ----------------------------------------------------------------------
+def encode_recommendations(entries: Sequence[Tuple[int, int]]) -> bytes:
+    """Encode ``(destination, one_hop)`` entries, 4 bytes per entry."""
+    out = bytearray()
+    for dst, hop in entries:
+        if not (0 <= dst <= 0xFFFF and 0 <= hop <= 0xFFFF):
+            raise WireFormatError(f"node IDs must fit in 16 bits: ({dst}, {hop})")
+        out += struct.pack(">HH", dst, hop)
+    return bytes(out)
+
+
+def decode_recommendations(data: bytes) -> List[Tuple[int, int]]:
+    """Inverse of :func:`encode_recommendations`."""
+    if len(data) % RECOMMENDATION_ENTRY_BYTES != 0:
+        raise WireFormatError(
+            f"recommendation payload length {len(data)} not a multiple of 4"
+        )
+    return [
+        struct.unpack_from(">HH", data, k)
+        for k in range(0, len(data), RECOMMENDATION_ENTRY_BYTES)
+    ]

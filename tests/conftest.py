@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def make_symmetric_costs(rng, n, low=10.0, high=500.0):
+    """A random symmetric cost matrix with zero diagonal."""
+    r = rng.uniform(low, high, size=(n, n))
+    r = np.triu(r, 1)
+    return r + r.T

@@ -1,0 +1,194 @@
+"""Unit tests for the §4.1 failover state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.failover import FailoverConfig, FailoverManager
+from repro.core.grid import GridQuorum
+from repro.errors import RoutingError
+
+
+def make_manager(n=9, me=0, remote_timeout=30.0, seed=1):
+    mgr = FailoverManager(
+        me, np.random.default_rng(seed), FailoverConfig(remote_timeout_s=remote_timeout)
+    )
+    mgr.set_grid(GridQuorum(list(range(n))), now=0.0)
+    return mgr
+
+
+def all_up(_):
+    return True
+
+
+def never_alive(_):
+    return False
+
+
+def always_alive(_):
+    return True
+
+
+class TestBasics:
+    def test_bad_config_rejected(self):
+        with pytest.raises(RoutingError):
+            FailoverConfig(remote_timeout_s=0.0)
+
+    def test_no_grid_raises(self):
+        mgr = FailoverManager(0, np.random.default_rng(0))
+        with pytest.raises(RoutingError):
+            _ = mgr.grid
+
+    def test_default_pair_lookup(self):
+        mgr = make_manager()
+        # 3x3 grid 0..8; me=0 at (0,0); dst 8 at (2,2): defaults are the
+        # intersections (0,2)=2 and (2,0)=6.
+        assert set(mgr.default_pair(8)) == {2, 6}
+
+    def test_unknown_destination_rejected(self):
+        mgr = make_manager()
+        with pytest.raises(RoutingError):
+            mgr.default_pair(99)
+
+
+class TestHealthEvaluation:
+    def test_all_healthy_no_failovers(self):
+        mgr = make_manager()
+        poll = mgr.poll(10.0, all_up, always_alive)
+        assert poll.double_failures == 0
+        assert not poll.adopted
+        assert not poll.extra_servers
+
+    def test_proximal_failure_of_one_default_is_tolerated(self):
+        mgr = make_manager()
+        down = {2}
+        poll = mgr.poll(10.0, lambda x: x not in down, always_alive)
+        # dst 8 keeps its healthy default (6); no failover for it.
+        assert mgr.active_failover(8) is None
+        # dst 2 itself is unreachable: its same-row defaults are the two
+        # endpoints, so §4.1 correctly fails over to another member of
+        # dst 2's row/column, which can recommend a detour around the
+        # dead direct link.
+        assert mgr.active_failover(2) in set(mgr.grid.failover_candidates(2))
+
+    def test_double_proximal_failure_triggers_failover(self):
+        mgr = make_manager()
+        down = {2, 6}  # both defaults for dst 8
+        poll = mgr.poll(10.0, lambda x: x not in down, always_alive)
+        assert poll.double_failures >= 1
+        adopted_dsts = {dst for dst, _ in poll.adopted}
+        assert 8 in adopted_dsts
+        server = dict(poll.adopted)[8]
+        # Failover chosen from dst 8's row+column, excluding the failed
+        # defaults and me.
+        assert server in set(mgr.grid.failover_candidates(8))
+        assert server not in {2, 6, 0}
+
+    def test_remote_timeout_triggers_failover(self):
+        mgr = make_manager(remote_timeout=30.0)
+        # No recommendations ever received: by t=31 both defaults are
+        # remotely failed for every dst.
+        poll = mgr.poll(31.0, all_up, always_alive)
+        assert poll.double_failures > 0
+
+    def test_coverage_refreshes_health(self):
+        mgr = make_manager(remote_timeout=30.0)
+        for t in (10.0, 25.0):
+            mgr.note_recommendations(2, {8}, t)
+            mgr.note_recommendations(6, {8}, t)
+        poll = mgr.poll(40.0, all_up, always_alive)
+        # dst 8 covered recently; other dsts may have failed over but 8
+        # must not be double-failed.
+        assert mgr.active_failover(8) is None
+
+    def test_affirmative_omission_is_immediate(self):
+        mgr = make_manager(remote_timeout=1000.0)
+        mgr.note_recommendations(2, {8}, 5.0)
+        mgr.note_recommendations(6, {8}, 5.0)
+        # Both servers now send recs WITHOUT dst 8 -> remote failure even
+        # though the timeout is huge.
+        mgr.note_recommendations(2, {1, 3}, 10.0)
+        mgr.note_recommendations(6, {1, 3}, 10.0)
+        assert mgr.server_failed(2, 8, 11.0, all_up)
+        assert mgr.server_failed(6, 8, 11.0, all_up)
+        poll = mgr.poll(11.0, all_up, always_alive)
+        assert mgr.active_failover(8) is not None
+
+    def test_recovery_reverts_to_defaults(self):
+        mgr = make_manager()
+        down = {2, 6}
+        mgr.poll(10.0, lambda x: x not in down, always_alive)
+        assert mgr.active_failover(8) is not None
+        # Links recover.
+        poll = mgr.poll(20.0, all_up, always_alive)
+        assert mgr.active_failover(8) is None
+        assert 8 not in {d for d, _ in poll.adopted}
+
+    def test_self_as_rendezvous_uses_direct_link(self):
+        # me=0, dst=1 share row 0; defaults are {0, 1} themselves.
+        mgr = make_manager()
+        assert set(mgr.default_pair(1)) == {0, 1}
+        # direct link up -> healthy
+        assert not mgr.server_failed(0, 1, 5.0, all_up)
+        # direct link down -> self-rendezvous failed
+        assert mgr.server_failed(0, 1, 5.0, lambda x: x != 1)
+
+
+class TestFailoverLifecycle:
+    def test_failed_failover_is_excluded_and_replaced(self):
+        mgr = make_manager(remote_timeout=30.0)
+        down = {2, 6}
+        is_up = lambda x: x not in down
+        poll1 = mgr.poll(10.0, is_up, always_alive)
+        first = mgr.active_failover(8)
+        assert first is not None
+        # The failover sends recs omitting 8 -> it cannot reach 8.
+        mgr.note_recommendations(first, {1, 2, 3}, 15.0)
+        poll2 = mgr.poll(16.0, is_up, always_alive)
+        second = mgr.active_failover(8)
+        assert second is not None and second != first
+
+    def test_death_suppression_after_first_attempt(self):
+        mgr = make_manager(remote_timeout=30.0)
+        down = {2, 6}
+        is_up = lambda x: x not in down
+        mgr.poll(10.0, is_up, never_alive)
+        first = mgr.active_failover(8)
+        assert first is not None  # initial failover is always allowed
+        mgr.note_recommendations(first, {1}, 15.0)  # omits 8
+        poll = mgr.poll(16.0, is_up, never_alive)
+        # No further failover: no client sees dst 8 alive.
+        assert mgr.active_failover(8) is None
+        assert poll.suppressed >= 1
+
+    def test_evidence_of_life_resumes_failover(self):
+        mgr = make_manager(remote_timeout=30.0)
+        down = {2, 6}
+        is_up = lambda x: x not in down
+        mgr.poll(10.0, is_up, never_alive)
+        first = mgr.active_failover(8)
+        mgr.note_recommendations(first, {1}, 15.0)
+        mgr.poll(16.0, is_up, never_alive)  # suppressed
+        poll = mgr.poll(30.0, is_up, always_alive)  # dst seen alive again
+        assert mgr.active_failover(8) is not None
+
+    def test_failover_choice_is_uniformish(self):
+        # Across many manager instances with different seeds, the chosen
+        # failover for dst 8 should span multiple candidates.
+        seen = set()
+        for seed in range(20):
+            mgr = make_manager(seed=seed)
+            down = {2, 6}
+            mgr.poll(10.0, lambda x: x not in down, always_alive)
+            f = mgr.active_failover(8)
+            if f is not None:
+                seen.add(f)
+        assert len(seen) >= 2
+
+    def test_extra_servers_reported_while_active(self):
+        mgr = make_manager()
+        down = {2, 6}
+        is_up = lambda x: x not in down
+        mgr.poll(10.0, is_up, always_alive)
+        active = mgr.active_failover(8)
+        poll = mgr.poll(12.0, is_up, always_alive)
+        assert active in poll.extra_servers

@@ -1,0 +1,70 @@
+"""Tests for routing metrics transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    PathMetric,
+    combine_latency_loss,
+    cost_to_loss,
+    loss_to_cost,
+)
+from repro.errors import RoutingError
+
+
+class TestLossTransform:
+    def test_zero_loss_zero_cost(self):
+        assert loss_to_cost(np.array([0.0]))[0] == 0.0
+
+    def test_total_loss_infinite_cost(self):
+        assert np.isinf(loss_to_cost(np.array([1.0]))[0])
+
+    def test_round_trip(self):
+        losses = np.array([0.0, 0.01, 0.2, 0.75, 0.999])
+        assert np.allclose(cost_to_loss(loss_to_cost(losses)), losses)
+
+    @given(
+        st.floats(0.0, 0.99),
+        st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=50)
+    def test_additivity_equals_path_delivery(self, p1, p2):
+        # cost(p1) + cost(p2) must equal cost of the two-link path whose
+        # end-to-end delivery is (1-p1)(1-p2).
+        path_loss = 1.0 - (1.0 - p1) * (1.0 - p2)
+        added = loss_to_cost(np.array([p1]))[0] + loss_to_cost(np.array([p2]))[0]
+        assert added == pytest.approx(loss_to_cost(np.array([path_loss]))[0], abs=1e-9)
+
+    def test_monotone(self):
+        losses = np.linspace(0.0, 0.99, 50)
+        costs = loss_to_cost(losses)
+        assert np.all(np.diff(costs) > 0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(RoutingError):
+            loss_to_cost(np.array([1.5]))
+        with pytest.raises(RoutingError):
+            loss_to_cost(np.array([-0.1]))
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(RoutingError):
+            cost_to_loss(np.array([-1.0]))
+
+
+class TestCombined:
+    def test_lossless_is_pure_latency(self):
+        lat = np.array([10.0, 50.0])
+        out = combine_latency_loss(lat, np.zeros(2))
+        assert np.allclose(out, lat)
+
+    def test_lossy_link_penalized(self):
+        out = combine_latency_loss(
+            np.array([10.0, 10.0]), np.array([0.0, 0.5]), loss_penalty_ms=100.0
+        )
+        assert out[1] > out[0]
+
+    def test_enum_members(self):
+        assert PathMetric.LATENCY.value == "latency"
+        assert PathMetric.LOSS.value == "loss"

@@ -1,0 +1,154 @@
+"""Theorem 1 tests: the synchronous two-round protocol over quorums."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.onehop import best_one_hop_all_pairs
+from repro.core.protocol import run_two_round
+from repro.core.quorum import (
+    CentralQuorum,
+    FullMeshQuorum,
+    GridQuorumSystem,
+    RandomQuorum,
+    coverage_fraction,
+)
+from repro.overlay import wire
+from tests.conftest import make_symmetric_costs
+
+
+class TestTheorem1Optimality:
+    """The protocol finds ALL optimal one-hop routes over the grid."""
+
+    @given(st.integers(min_value=2, max_value=60), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_grid_protocol_equals_oracle(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = make_symmetric_costs(rng, n)
+        result = run_two_round(w, GridQuorumSystem(list(range(n))))
+        oracle_costs, _ = best_one_hop_all_pairs(w)
+        assert result.coverage_fraction() == 1.0
+        assert np.allclose(result.costs, oracle_costs)
+
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_recommended_hops_realize_costs(self, n, seed):
+        rng = np.random.default_rng(seed)
+        w = make_symmetric_costs(rng, n)
+        result = run_two_round(w, GridQuorumSystem(list(range(n))))
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                h = result.hops[i, j]
+                realized = w[i, j] if h == j else w[i, h] + w[h, j]
+                assert realized == pytest.approx(result.costs[i, j])
+
+    def test_full_mesh_also_optimal(self, rng):
+        w = make_symmetric_costs(rng, 20)
+        result = run_two_round(w, FullMeshQuorum(list(range(20))))
+        oracle_costs, _ = best_one_hop_all_pairs(w)
+        assert np.allclose(result.costs, oracle_costs)
+
+    def test_central_also_optimal(self, rng):
+        w = make_symmetric_costs(rng, 20)
+        result = run_two_round(w, CentralQuorum(list(range(20))))
+        oracle_costs, _ = best_one_hop_all_pairs(w)
+        assert np.allclose(result.costs, oracle_costs)
+
+    def test_dead_links_handled(self):
+        w = np.array(
+            [
+                [0.0, np.inf, 10.0, 20.0],
+                [np.inf, 0.0, 15.0, np.inf],
+                [10.0, 15.0, 0.0, 5.0],
+                [20.0, np.inf, 5.0, 0.0],
+            ]
+        )
+        result = run_two_round(w, GridQuorumSystem(list(range(4))))
+        assert result.costs[0, 1] == 25.0  # 0-2-1
+        assert result.hops[0, 1] == 2
+
+
+class TestTheorem1Communication:
+    """Per-node message count ≤ 4 sqrt(n) + O(1); bits Θ(n sqrt(n))."""
+
+    @pytest.mark.parametrize("n", [4, 9, 16, 25, 49, 100, 144])
+    def test_message_bound(self, n):
+        w = make_symmetric_costs(np.random.default_rng(0), n)
+        result = run_two_round(w, GridQuorumSystem(list(range(n))))
+        # Theorem 1: at most 4 sqrt(n) messages sent+received... our
+        # accounting counts both directions, giving 8(sqrt(n)-1) for a
+        # full grid: 2(sqrt(n)-1) sent and received in each round.
+        bound = 8 * math.ceil(math.sqrt(n))
+        assert result.ledger.max_total_messages() <= bound
+
+    @pytest.mark.parametrize("n", [16, 36, 64, 100, 196])
+    def test_bytes_scale_as_n_sqrt_n(self, n):
+        w = make_symmetric_costs(np.random.default_rng(0), n)
+        result = run_two_round(w, GridQuorumSystem(list(range(n))))
+        # Bits per node should be Theta(n^1.5): check against the
+        # closed form 4 sqrt(n) messages of ~(3n + header) bytes.
+        expected = 4 * math.sqrt(n) * (3 * n + wire.HEADER_BYTES)
+        measured = result.ledger.max_total_bytes()
+        assert 0.4 * expected < measured < 2.5 * expected
+
+    def test_quorum_beats_full_mesh_at_scale(self):
+        n = 100
+        w = make_symmetric_costs(np.random.default_rng(1), n)
+        grid = run_two_round(w, GridQuorumSystem(list(range(n))))
+        mesh = run_two_round(w, FullMeshQuorum(list(range(n))))
+        assert grid.ledger.max_total_bytes() < 0.5 * mesh.ledger.max_total_bytes()
+
+    def test_central_quorum_concentrates_load(self):
+        n = 49
+        w = make_symmetric_costs(np.random.default_rng(2), n)
+        central = run_two_round(w, CentralQuorum(list(range(n))))
+        hub_bytes = central.ledger.total_bytes(0)
+        others = [central.ledger.total_bytes(x) for x in range(1, n)]
+        # The hub carries over n/2 times the load of any other node.
+        assert hub_bytes > (n / 2) * max(others)
+
+    def test_grid_load_is_balanced(self):
+        n = 100
+        w = make_symmetric_costs(np.random.default_rng(3), n)
+        result = run_two_round(w, GridQuorumSystem(list(range(n))))
+        loads = [result.ledger.total_bytes(x) for x in range(n)]
+        assert max(loads) < 1.6 * (sum(loads) / n)
+
+
+class TestRandomQuorum:
+    def test_coverage_below_one_for_small_multiplier(self):
+        rng = np.random.default_rng(7)
+        q = RandomQuorum(list(range(100)), rng, multiplier=0.5)
+        assert coverage_fraction(q) < 1.0
+
+    def test_high_multiplier_approaches_full_coverage(self):
+        rng = np.random.default_rng(8)
+        q = RandomQuorum(list(range(64)), rng, multiplier=3.0)
+        assert coverage_fraction(q) > 0.95
+
+    def test_uncovered_pairs_get_no_route(self):
+        rng = np.random.default_rng(9)
+        n = 81
+        q = RandomQuorum(list(range(n)), rng, multiplier=0.5)
+        w = make_symmetric_costs(np.random.default_rng(10), n)
+        result = run_two_round(w, q)
+        off = ~np.eye(n, dtype=bool)
+        uncovered = (~result.covered) & off
+        assert uncovered.any()
+        assert np.all(result.hops[uncovered] == -1)
+        assert np.all(np.isinf(result.costs[uncovered]))
+
+    def test_covered_pairs_are_optimal(self):
+        rng = np.random.default_rng(11)
+        n = 49
+        q = RandomQuorum(list(range(n)), rng, multiplier=2.0)
+        w = make_symmetric_costs(np.random.default_rng(12), n)
+        result = run_two_round(w, q)
+        oracle_costs, _ = best_one_hop_all_pairs(w)
+        covered = result.covered & ~np.eye(n, dtype=bool)
+        assert np.allclose(result.costs[covered], oracle_costs[covered])

@@ -1,0 +1,105 @@
+"""Tests for quorum-system constructions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.quorum import (
+    CentralQuorum,
+    FullMeshQuorum,
+    GridQuorumSystem,
+    RandomQuorum,
+    coverage_fraction,
+)
+from repro.errors import QuorumError
+
+
+class TestGridQuorumSystem:
+    def test_full_coverage(self):
+        q = GridQuorumSystem(list(range(30)))
+        assert coverage_fraction(q) == 1.0
+
+    def test_servers_match_grid(self):
+        q = GridQuorumSystem(list(range(1, 10)))
+        assert set(q.servers(9, include_self=False)) == {3, 6, 7, 8}
+
+    def test_load_bound(self):
+        n = 100
+        q = GridQuorumSystem(list(range(n)))
+        assert q.max_load() <= 2 * math.ceil(math.sqrt(n))
+
+
+class TestCentralQuorum:
+    def test_hub_default_is_first_member(self):
+        q = CentralQuorum([5, 7, 9])
+        assert q.hub == 5
+
+    def test_bad_hub_rejected(self):
+        with pytest.raises(QuorumError):
+            CentralQuorum([1, 2, 3], hub=99)
+
+    def test_everyone_rendezvous_at_hub(self):
+        q = CentralQuorum(list(range(10)))
+        for m in range(1, 10):
+            assert q.servers(m, include_self=False) == (0,)
+
+    def test_full_coverage(self):
+        q = CentralQuorum(list(range(12)))
+        assert coverage_fraction(q) == 1.0
+
+    def test_hub_serves_everyone(self):
+        q = CentralQuorum(list(range(10)))
+        assert set(q.clients(0, include_self=False)) == set(range(1, 10))
+        assert q.max_load() == 9
+
+
+class TestFullMeshQuorum:
+    def test_everyone_serves_everyone(self):
+        q = FullMeshQuorum(list(range(6)))
+        assert set(q.servers(3, include_self=False)) == {0, 1, 2, 4, 5}
+        assert coverage_fraction(q) == 1.0
+        assert q.max_load() == 5
+
+
+class TestRandomQuorum:
+    def test_server_set_size(self):
+        rng = np.random.default_rng(3)
+        n = 100
+        q = RandomQuorum(list(range(n)), rng, multiplier=2.0)
+        expected = round(2.0 * math.sqrt(n))
+        for m in (0, 17, 99):
+            # include_self may add or dedupe one
+            assert abs(len(q.servers(m)) - expected) <= 1
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(QuorumError):
+            RandomQuorum([1, 2, 3], np.random.default_rng(0), multiplier=0.0)
+
+    def test_clients_is_inverse_of_servers(self):
+        rng = np.random.default_rng(4)
+        q = RandomQuorum(list(range(25)), rng, multiplier=1.5)
+        for m in range(25):
+            for s in q.servers(m, include_self=False):
+                assert m in q.clients(s)
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(QuorumError):
+            FullMeshQuorum([1, 1, 2])
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(QuorumError):
+            FullMeshQuorum([])
+
+
+class TestCoverageFraction:
+    def test_single_node_trivially_covered(self):
+        assert coverage_fraction(FullMeshQuorum([7])) == 1.0
+
+    def test_grid_beats_low_multiplier_random(self):
+        rng = np.random.default_rng(5)
+        n = 64
+        grid = GridQuorumSystem(list(range(n)))
+        rand = RandomQuorum(list(range(n)), rng, multiplier=0.7)
+        assert coverage_fraction(grid) == 1.0
+        assert coverage_fraction(rand) < 1.0

@@ -1,0 +1,225 @@
+"""Tests for the experiment runners (small/fast parameterizations).
+
+The benchmarks run the paper-scale versions; these tests verify the
+experiment *logic* — series shapes, qualitative orderings, bound checks —
+at sizes that keep the suite quick.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation_interval import (
+    format_interval_ablation,
+    run_interval_ablation,
+)
+from repro.experiments.ablation_quorum import (
+    format_quorum_ablation,
+    run_quorum_ablation,
+)
+from repro.experiments.capacity_tables import (
+    capacity_table,
+    coefficients_table,
+    config_table,
+    run_capacity_headlines,
+)
+from repro.experiments.deployment import run_deployment
+from repro.experiments.fig1_onehop_cdf import run_fig1
+from repro.experiments.fig9_bandwidth_scaling import run_fig9
+from repro.experiments.multihop_scaling import (
+    format_multihop_scaling,
+    run_multihop_scaling,
+)
+from repro.experiments.scenarios import format_scenarios, run_all_scenarios
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1(n_hosts=200, seed=2005)
+
+    def test_series_present(self, result):
+        assert set(result.series) == {
+            "point_to_point",
+            "best_one_hop",
+            "excluding_top_50pct",
+            "excluding_top_3pct",
+        }
+
+    def test_all_series_same_length(self, result):
+        sizes = {len(v) for v in result.series.values()}
+        assert sizes == {result.num_high_latency_pairs}
+
+    def test_ordering_best_beats_exclusions_beats_direct(self, result):
+        """The Figure 1 dominance ordering at the 400 ms mark."""
+        frac = result.fraction_improved_below(400.0)
+        assert frac["point_to_point"] == 0.0  # pairs selected as > 400
+        assert frac["best_one_hop"] >= frac["excluding_top_3pct"]
+        assert frac["excluding_top_3pct"] >= frac["excluding_top_50pct"]
+        assert frac["best_one_hop"] > 0.2  # detours help many pairs
+
+    def test_random_intermediaries_rarely_help(self, result):
+        """The paper's punchline: the bottom 50% contains ~no good hops."""
+        frac = result.fraction_improved_below(400.0)
+        assert frac["excluding_top_50pct"] < 0.15
+
+    def test_cdf_monotone(self, result):
+        grid = np.arange(200.0, 1001.0, 50.0)
+        for vals in result.cdf(grid).values():
+            assert np.all(np.diff(vals) >= -1e-12)
+
+    def test_format_table(self, result):
+        out = result.format_table()
+        assert "Figure 1" in out
+        assert "best_one_hop" in out
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(sizes=(16, 49, 100), duration_s=120.0, warmup_s=45.0)
+
+    def test_quorum_wins_at_100(self, result):
+        k = result.sizes.index(100)
+        assert result.measured_quorum_bps[k] < result.measured_fullmesh_bps[k]
+
+    def test_measured_tracks_theory(self, result):
+        for k in range(len(result.sizes)):
+            assert result.measured_fullmesh_bps[k] == pytest.approx(
+                result.theory_fullmesh_bps[k], rel=0.25
+            )
+            assert result.measured_quorum_bps[k] == pytest.approx(
+                result.theory_quorum_bps[k], rel=0.30
+            )
+
+    def test_measured_at_or_below_theory(self, result):
+        """Emulation sends 2(sqrt(n)-1) messages vs theory's 2 sqrt(n),
+        and the full mesh sends n-1 vs n, so measurements sit below the
+        closed forms (§6.1)."""
+        for k in range(len(result.sizes)):
+            assert (
+                result.measured_fullmesh_bps[k]
+                <= result.theory_fullmesh_bps[k] * 1.02
+            )
+
+    def test_table_renders(self, result):
+        assert "Figure 9" in result.format_table()
+
+
+class TestDeploymentSmall:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_deployment(n=36, duration_s=300.0, warmup_s=120.0, seed=6)
+
+    def test_shapes(self, result):
+        assert result.concurrent_failures.shape[1] == 36
+        assert result.double_failures.shape[1] == 36
+        assert result.routing_bps_mean.shape == (36,)
+        for stat in ("median", "average", "p97", "max"):
+            assert result.freshness_stats[stat].shape == (36, 36)
+
+    def test_poorly_connected_node_sees_more_failures(self, result):
+        well, poor = result.well_and_poorly_connected()
+        assert (
+            result.fig8_mean_per_node()[poor]
+            > result.fig8_mean_per_node()[well]
+        )
+
+    def test_freshness_typical_below_routing_interval(self, result):
+        # With two unsynchronized rendezvous per destination, typical
+        # freshness sits well below the 15 s routing interval (§6.2.2).
+        assert result.fig12_typical_median() < 15.0
+
+    def test_median_below_p97_below_max(self, result):
+        off = ~np.eye(36, dtype=bool)
+        med = result.freshness_stats["median"][off]
+        p97 = result.freshness_stats["p97"][off]
+        mx = result.freshness_stats["max"][off]
+        finite = np.isfinite(mx)
+        assert np.all(med[finite] <= p97[finite] + 1e-6)
+        assert np.all(p97[finite] <= mx[finite] + 1e-6)
+
+    def test_tables_render(self, result):
+        assert "Figure 8" in result.fig8_table()
+        assert "Figure 10" in result.fig10_table()
+        assert "Figure 11" in result.fig11_table()
+        assert "Figure 12" in result.fig12_table()
+        well, poor = result.well_and_poorly_connected()
+        assert "Figures 13/14" in result.fig13_14_table(well)
+
+    def test_routing_bandwidth_positive_and_bounded(self, result):
+        # theory at n=36 with failover overhead margin
+        from repro.analysis.bandwidth import quorum_routing_bps
+
+        theory = quorum_routing_bps(36)
+        assert np.all(result.routing_bps_mean > 0.3 * theory)
+        assert np.all(result.routing_bps_mean < 2.5 * theory)
+
+
+class TestScenarios:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_all_scenarios(n=36, seed=8)
+
+    def test_all_within_paper_bounds(self, results):
+        for res in results:
+            assert res.within_bound, f"{res.name}/{res.router}: {res.effective_recovery_s}"
+
+    def test_scenario3_bound_larger(self, results):
+        by_name = {(r.name, r.router.value): r for r in results}
+        assert (
+            by_name[("scenario-3", "quorum")].bound_s
+            > by_name[("scenario-2", "quorum")].bound_s
+        )
+
+    def test_format(self, results):
+        assert "scenario-1" in format_scenarios(results)
+
+
+class TestCapacityTables:
+    def test_headlines(self):
+        head = run_capacity_headlines()
+        assert head.fullmesh_nodes_at_budget == 165
+        assert 280 <= head.quorum_nodes_at_budget <= 310
+        assert head.skype_reduction_10k == pytest.approx(50, rel=0.08)
+
+    def test_tables_render(self):
+        assert "routing interval" in config_table()
+        assert "49.1" in coefficients_table()
+        assert "165" in capacity_table()
+
+
+class TestAblations:
+    def test_quorum_ablation_shape(self):
+        rows = run_quorum_ablation(n=49)
+        by_name = {r.name: r for r in rows}
+        grid = by_name["grid (paper)"]
+        mesh = by_name["full-mesh (RON)"]
+        star = by_name["central star"]
+        assert grid.coverage == 1.0 and mesh.coverage == 1.0
+        assert grid.mean_bytes < 0.5 * mesh.mean_bytes
+        assert star.load_imbalance > 10.0
+        assert grid.load_imbalance < 1.5
+        assert by_name["random c=1"].coverage < 1.0
+        assert "grid" in format_quorum_ablation(rows)
+
+    def test_interval_ablation(self):
+        rows = run_interval_ablation(
+            intervals_s=(15.0, 30.0), n=25, duration_s=240.0, warmup_s=90.0
+        )
+        fast, slow = rows
+        # Halving the interval halves freshness and doubles traffic.
+        assert fast.median_freshness_s < slow.median_freshness_s
+        assert fast.mean_routing_kbps == pytest.approx(
+            2 * slow.mean_routing_kbps, rel=0.25
+        )
+        assert "Routing-interval" in format_interval_ablation(rows)
+
+
+class TestMultihopScaling:
+    def test_correct_and_scales(self):
+        rows = run_multihop_scaling(sizes=(16, 49))
+        assert all(r.routes_correct for r in rows)
+        # multi-hop costs ~log2(n) one-hop iterations
+        for r in rows:
+            assert 2.0 < r.multihop_over_onehop < 2.5 * r.iterations
+        assert "multi-hop" in format_multihop_scaling(rows)

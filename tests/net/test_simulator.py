@@ -1,0 +1,193 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, seen.append, "late")
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(3.0, seen.append, "middle")
+        sim.run()
+        assert seen == ["early", "middle", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        seen = []
+        for tag in "abcde":
+            sim.schedule(2.0, seen.append, tag)
+        sim.run()
+        assert seen == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(4.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [4.5]
+        assert sim.now == 4.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=100.0)
+        fired = []
+        sim.schedule_at(101.5, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 101.5
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append("outer")
+            sim.schedule(1.0, seen.append, "inner")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == ["outer", "inner"]
+        assert sim.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_infinite_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, seen.append, "x")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        e1.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "a")
+        sim.schedule(2.0, seen.append, "b")
+        sim.schedule(3.0, seen.append, "c")
+        sim.run_until(2.0)
+        assert seen == ["a", "b"]
+        assert sim.now == 2.0
+        sim.run_until(10.0)
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 10.0
+
+    def test_run_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_events_run_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_run == 5
+
+
+class TestPeriodicTimer:
+    def test_periodic_fires_repeatedly(self):
+        sim = Simulator()
+        times = []
+        sim.periodic(10.0, lambda: times.append(sim.now))
+        sim.run_until(35.0)
+        assert times == [0.0, 10.0, 20.0, 30.0]
+
+    def test_phase_offsets_first_firing(self):
+        sim = Simulator()
+        times = []
+        sim.periodic(10.0, lambda: times.append(sim.now), phase=3.0)
+        sim.run_until(25.0)
+        assert times == [3.0, 13.0, 23.0]
+
+    def test_stop_halts_timer(self):
+        sim = Simulator()
+        times = []
+        timer = sim.periodic(5.0, lambda: times.append(sim.now))
+        sim.run_until(11.0)
+        timer.stop()
+        sim.run_until(50.0)
+        assert times == [0.0, 5.0, 10.0]
+        assert timer.stopped
+
+    def test_callback_may_stop_its_own_timer(self):
+        sim = Simulator()
+        count = []
+
+        def cb():
+            count.append(sim.now)
+            if len(count) == 2:
+                timer.stop()
+
+        timer = sim.periodic(1.0, cb, phase=1.0)
+        sim.run_until(10.0)
+        assert count == [1.0, 2.0]
+
+    def test_bad_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.periodic(0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.periodic(1.0, lambda: None, phase=-1.0)
+
+    def test_args_are_passed(self):
+        sim = Simulator()
+        seen = []
+        sim.periodic(1.0, seen.append, "tick", phase=1.0)
+        sim.run_until(2.5)
+        assert seen == ["tick", "tick"]
+
+
+class TestDeterminism:
+    def test_identical_schedules_produce_identical_traces(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+            sim.periodic(3.0, lambda: trace.append(("p", sim.now)), phase=1.0)
+            sim.schedule(2.0, lambda: trace.append(("a", sim.now)))
+            sim.schedule(2.0, lambda: trace.append(("b", sim.now)))
+            sim.run_until(9.0)
+            return trace
+
+        assert run_once() == run_once()

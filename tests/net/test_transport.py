@@ -1,0 +1,138 @@
+"""Tests for the datagram transport."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.packet import LinkStateMessage, RecommendationMessage
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.net.transport import DatagramTransport
+from repro.overlay import wire
+from repro.overlay.stats import BandwidthRecorder
+
+
+def make_setup(n=3, rtt=100.0, loss=None, failures=None, with_bw=True):
+    rtt_m = np.full((n, n), rtt)
+    np.fill_diagonal(rtt_m, 0.0)
+    topo = Topology(rtt_m, loss=loss, failures=failures)
+    sim = Simulator()
+    bw = BandwidthRecorder(n) if with_bw else None
+    transport = DatagramTransport(sim, topo, np.random.default_rng(1), bw)
+    return sim, topo, transport, bw
+
+
+def ls_msg(origin, n):
+    return LinkStateMessage(
+        origin=origin,
+        latency_ms=np.full(n, 50.0),
+        alive=np.ones(n, dtype=bool),
+        loss=np.zeros(n),
+    )
+
+
+class TestDelivery:
+    def test_message_arrives_after_one_way_delay(self):
+        sim, topo, transport, _ = make_setup(rtt=100.0)
+        got = []
+        transport.register(1, lambda msg, src: got.append((sim.now, src)))
+        transport.send(0, 1, ls_msg(0, 3))
+        sim.run()
+        assert got == [(0.050, 0)]
+
+    def test_self_send_is_synchronous(self):
+        sim, topo, transport, bw = make_setup()
+        got = []
+        transport.register(0, lambda msg, src: got.append(src))
+        transport.send(0, 0, ls_msg(0, 3))
+        assert got == [0]
+        # no bytes accounted for local delivery
+        assert bw.bytes_per_node().sum() == 0
+
+    def test_unregistered_destination_drops(self):
+        sim, topo, transport, _ = make_setup()
+        assert transport.send(0, 2, ls_msg(0, 3))
+        sim.run()
+        assert transport.dropped_count == 1
+
+    def test_duplicate_registration_rejected(self):
+        _, _, transport, _ = make_setup()
+        transport.register(0, lambda m, s: None)
+        with pytest.raises(SimulationError):
+            transport.register(0, lambda m, s: None)
+
+    def test_unregister_stops_delivery(self):
+        sim, topo, transport, _ = make_setup()
+        got = []
+        transport.register(1, lambda msg, src: got.append(src))
+        transport.send(0, 1, ls_msg(0, 3))
+        transport.unregister(1)
+        sim.run()
+        assert got == []
+
+
+class TestLoss:
+    def test_total_loss_drops_everything(self):
+        n = 3
+        loss = np.ones((n, n))
+        np.fill_diagonal(loss, 0.0)
+        sim, topo, transport, _ = make_setup(loss=loss)
+        got = []
+        transport.register(1, lambda msg, src: got.append(src))
+        for _ in range(20):
+            transport.send(0, 1, ls_msg(0, n))
+        sim.run()
+        assert got == []
+        assert transport.dropped_count == 20
+
+    def test_loss_rate_statistical(self):
+        n = 3
+        loss = np.full((n, n), 0.4)
+        np.fill_diagonal(loss, 0.0)
+        sim, topo, transport, _ = make_setup(loss=loss)
+        got = []
+        transport.register(1, lambda msg, src: got.append(src))
+        for _ in range(2000):
+            transport.send(0, 1, ls_msg(0, n))
+        sim.run()
+        assert 0.52 < len(got) / 2000 < 0.68
+
+
+class TestAccounting:
+    def test_out_bytes_counted_even_for_lost_messages(self):
+        n = 3
+        loss = np.ones((n, n))
+        np.fill_diagonal(loss, 0.0)
+        sim, topo, transport, bw = make_setup(loss=loss)
+        transport.register(1, lambda m, s: None)
+        msg = ls_msg(0, n)
+        transport.send(0, 1, msg)
+        sim.run()
+        assert bw.bytes_per_node(directions=("out",))[0] == msg.wire_size()
+        assert bw.bytes_per_node(directions=("in",))[1] == 0
+
+    def test_in_bytes_counted_on_delivery(self):
+        sim, topo, transport, bw = make_setup()
+        transport.register(1, lambda m, s: None)
+        msg = ls_msg(0, 3)
+        transport.send(0, 1, msg)
+        sim.run()
+        assert bw.bytes_per_node(directions=("in",))[1] == msg.wire_size()
+
+    def test_wire_sizes_match_paper_formulas(self):
+        n = 100
+        msg = ls_msg(0, n)
+        assert msg.wire_size() == wire.HEADER_BYTES + 3 * n
+        rec = RecommendationMessage(origin=0, entries=[(1, 2)] * 20)
+        assert rec.wire_size() == wire.HEADER_BYTES + 4 * 20
+
+    def test_kind_separation(self):
+        sim, topo, transport, bw = make_setup()
+        transport.register(1, lambda m, s: None)
+        transport.send(0, 1, ls_msg(0, 3))
+        transport.send(0, 1, RecommendationMessage(origin=0, entries=[(1, 2)]))
+        sim.run()
+        ls_bytes = bw.bytes_per_node(kinds=("ls",))
+        rec_bytes = bw.bytes_per_node(kinds=("rec",))
+        assert ls_bytes[0] > 0 and rec_bytes[0] > 0
+        assert ls_bytes[0] != rec_bytes[0]

@@ -1,0 +1,69 @@
+"""Tests for the malicious-rendezvous model and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.adversarial import run_adversarial
+from repro.net.trace import uniform_random_metric
+from repro.overlay.adversarial import MaliciousQuorumRouter
+from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.harness import build_overlay
+
+
+class TestMaliciousRouter:
+    def test_recommends_itself(self):
+        rng = np.random.default_rng(9)
+        trace = uniform_random_metric(16, rng)
+        ov = build_overlay(
+            trace=trace,
+            router=RouterKind.QUORUM,
+            rng=rng,
+            with_freshness=False,
+            malicious=[5],
+        )
+        ov.run(90.0)
+        assert isinstance(ov.nodes[5].router, MaliciousQuorumRouter)
+        # Some honest client of node 5 must have been told "via 5".
+        poisoned = 0
+        for node in ov.nodes:
+            if node.id == 5:
+                continue
+            hops = node.router.route_hop
+            servers = node.router.route_server
+            poisoned += int(((hops == 5) & (servers == 5)).sum())
+        assert poisoned > 0
+
+    def test_malicious_requires_quorum_router(self):
+        rng = np.random.default_rng(9)
+        with pytest.raises(ConfigError):
+            build_overlay(
+                trace=uniform_random_metric(9, rng),
+                router=RouterKind.FULL_MESH,
+                rng=rng,
+                malicious=[1],
+            )
+
+
+class TestCrossValidation:
+    def test_verification_restores_route_quality(self):
+        attacked = run_adversarial(
+            n=36, num_malicious=2, verify=False, duration_s=180.0
+        )
+        defended = run_adversarial(
+            n=36, num_malicious=2, verify=True, duration_s=180.0
+        )
+        assert attacked.mean_stretch > defended.mean_stretch
+        assert defended.mean_stretch < 1.06
+
+    def test_no_adversary_verification_is_noop(self):
+        off = run_adversarial(n=25, num_malicious=0, verify=False, duration_s=150.0)
+        on = run_adversarial(n=25, num_malicious=0, verify=True, duration_s=150.0)
+        assert off.mean_stretch == pytest.approx(1.0, abs=0.02)
+        assert on.mean_stretch == pytest.approx(1.0, abs=0.02)
+
+    def test_conflicts_counted_only_with_verification(self):
+        defended = run_adversarial(
+            n=36, num_malicious=2, verify=True, duration_s=180.0
+        )
+        assert defended.rec_conflicts > 0

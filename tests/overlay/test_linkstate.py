@@ -1,0 +1,104 @@
+"""Tests for the partial link-state table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.overlay.linkstate import LinkStateTable
+
+
+def row(n, value=10.0):
+    lat = np.full(n, value)
+    lat[0] = 0.0
+    return lat, np.ones(n, dtype=bool), np.zeros(n)
+
+
+class TestBasics:
+    def test_initial_state(self):
+        t = LinkStateTable(3)
+        assert np.all(np.isinf(t.latency_ms))
+        assert not t.alive.any()
+        assert np.all(np.isinf(t.row_age(1, 0.0)))
+
+    def test_update_and_age(self):
+        t = LinkStateTable(3)
+        lat, alive, loss = row(3)
+        t.update_row(1, lat, alive, loss, now=100.0)
+        assert t.row_age(1, 130.0) == 30.0
+        assert t.latency_ms[1, 2] == 10.0
+
+    def test_bad_index_rejected(self):
+        t = LinkStateTable(3)
+        lat, alive, loss = row(3)
+        with pytest.raises(RoutingError):
+            t.update_row(5, lat, alive, loss, 0.0)
+
+    def test_bad_shape_rejected(self):
+        t = LinkStateTable(3)
+        with pytest.raises(RoutingError):
+            t.update_row(0, np.zeros(4), np.ones(4, dtype=bool), np.zeros(4), 0.0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(RoutingError):
+            LinkStateTable(0)
+
+
+class TestFreshness:
+    def test_fresh_rows(self):
+        t = LinkStateTable(4)
+        lat, alive, loss = row(4)
+        t.update_row(0, lat, alive, loss, now=10.0)
+        t.update_row(2, lat, alive, loss, now=50.0)
+        assert list(t.fresh_rows(60.0, max_age=20.0)) == [2]
+        assert sorted(t.fresh_rows(60.0, max_age=100.0)) == [0, 2]
+
+
+class TestEffectiveLatency:
+    def test_dead_links_masked(self):
+        t = LinkStateTable(3)
+        lat = np.array([0.0, 20.0, 30.0])
+        alive = np.array([True, True, False])
+        t.update_row(0, lat, alive, np.zeros(3), 0.0)
+        eff = t.effective_latency(0)
+        assert eff[1] == 20.0
+        assert np.isinf(eff[2])
+        assert eff[0] == 0.0  # self forced to zero
+
+    def test_returns_copy(self):
+        t = LinkStateTable(2)
+        lat, alive, loss = row(2)
+        t.update_row(0, lat, alive, loss, 0.0)
+        eff = t.effective_latency(0)
+        eff[1] = 999.0
+        assert t.latency_ms[0, 1] == 10.0
+
+
+class TestSeesAlive:
+    def test_fresh_row_showing_alive(self):
+        t = LinkStateTable(4)
+        lat = np.full(4, 5.0)
+        alive = np.array([True, True, True, True])
+        t.update_row(1, lat, alive, np.zeros(4), now=100.0)
+        assert t.sees_alive(3, now=110.0, max_age=45.0)
+
+    def test_stale_rows_ignored(self):
+        t = LinkStateTable(4)
+        lat = np.full(4, 5.0)
+        alive = np.ones(4, dtype=bool)
+        t.update_row(1, lat, alive, np.zeros(4), now=100.0)
+        assert not t.sees_alive(3, now=300.0, max_age=45.0)
+
+    def test_dst_own_row_excluded(self):
+        # Only dst's own row is fresh; it cannot vouch for itself.
+        t = LinkStateTable(4)
+        lat = np.full(4, 5.0)
+        alive = np.ones(4, dtype=bool)
+        t.update_row(3, lat, alive, np.zeros(4), now=100.0)
+        assert not t.sees_alive(3, now=110.0, max_age=45.0)
+
+    def test_rows_showing_dead(self):
+        t = LinkStateTable(4)
+        lat = np.full(4, 5.0)
+        alive = np.array([True, True, True, False])
+        t.update_row(1, lat, alive, np.zeros(4), now=100.0)
+        assert not t.sees_alive(3, now=110.0, max_age=45.0)

@@ -1,0 +1,105 @@
+"""Tests for the membership service and views."""
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.net.simulator import Simulator
+from repro.overlay.membership import MembershipService, MembershipView
+
+
+class TestMembershipView:
+    def test_index_of(self):
+        view = MembershipView(version=1, members=(3, 7, 9, 20))
+        assert view.index_of(3) == 0
+        assert view.index_of(9) == 2
+        assert view.index_of(20) == 3
+
+    def test_missing_member_raises(self):
+        view = MembershipView(version=1, members=(3, 7))
+        with pytest.raises(MembershipError):
+            view.index_of(5)
+
+    def test_contains(self):
+        view = MembershipView(version=1, members=(1, 2))
+        assert 1 in view and 5 not in view
+
+    def test_unsorted_members_rejected(self):
+        with pytest.raises(MembershipError):
+            MembershipView(version=1, members=(3, 1))
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(MembershipError):
+            MembershipView(version=1, members=(1, 1))
+
+
+class TestMembershipService:
+    def test_bootstrap_delivers_view_synchronously(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+        views = {}
+        svc.bootstrap({i: (lambda v, i=i: views.__setitem__(i, v)) for i in (5, 2, 9)})
+        assert set(views) == {5, 2, 9}
+        assert views[5].members == (2, 5, 9)
+
+    def test_bootstrap_twice_rejected(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+        svc.bootstrap({1: lambda v: None})
+        with pytest.raises(MembershipError):
+            svc.bootstrap({2: lambda v: None})
+
+    def test_join_bumps_version_and_notifies_all(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+        views = []
+        svc.bootstrap({1: views.append, 2: views.append})
+        views.clear()
+        svc.join(3, views.append)
+        sim.run_until(1.0)
+        assert len(views) == 3  # all three members notified
+        assert all(v.members == (1, 2, 3) for v in views)
+
+    def test_double_join_rejected(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+        svc.bootstrap({1: lambda v: None})
+        with pytest.raises(MembershipError):
+            svc.join(1, lambda v: None)
+
+    def test_leave(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+        views = {}
+        svc.bootstrap(
+            {i: (lambda v, i=i: views.__setitem__(i, v)) for i in (1, 2, 3)}
+        )
+        svc.leave(2)
+        sim.run_until(1.0)
+        assert views[1].members == (1, 3)
+        with pytest.raises(MembershipError):
+            svc.leave(2)
+
+    def test_refresh_prevents_expiry(self):
+        sim = Simulator()
+        svc = MembershipService(sim, timeout_s=100.0, expiry_check_s=10.0)
+        got = []
+        svc.bootstrap({1: got.append, 2: got.append})
+
+        # Node 1 refreshes periodically; node 2 goes silent.
+        sim.periodic(50.0, lambda: svc.refresh(1), phase=50.0)
+        sim.run_until(300.0)
+        assert svc.view.members == (1,)
+
+    def test_refresh_unknown_member_rejected(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+        with pytest.raises(MembershipError):
+            svc.refresh(42)
+
+    def test_view_versions_increase(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+        svc.bootstrap({1: lambda v: None})
+        v1 = svc.view.version
+        svc.join(2, lambda v: None)
+        assert svc.view.version > v1

@@ -1,0 +1,131 @@
+"""Tests for bandwidth and freshness instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.overlay.stats import BandwidthRecorder, CounterSet, FreshnessRecorder
+
+
+class TestBandwidthRecorder:
+    def test_basic_bucket_accounting(self):
+        bw = BandwidthRecorder(2, bucket_s=10.0)
+        bw.record_out(0, "ls", 100, 5.0)
+        bw.record_in(1, "ls", 100, 5.1)
+        assert bw.bytes_per_node()[0] == 100
+        assert bw.bytes_per_node()[1] == 100
+        assert bw.bytes_per_node(directions=("out",))[1] == 0
+
+    def test_window_filtering(self):
+        bw = BandwidthRecorder(1, bucket_s=10.0)
+        bw.record_out(0, "ls", 100, 5.0)
+        bw.record_out(0, "ls", 200, 25.0)
+        assert bw.bytes_per_node(t0=0.0, t1=10.0)[0] == 100
+        assert bw.bytes_per_node(t0=20.0, t1=30.0)[0] == 200
+        assert bw.bytes_per_node(t0=0.0, t1=30.0)[0] == 300
+
+    def test_kind_filtering(self):
+        bw = BandwidthRecorder(1)
+        bw.record_out(0, "ls", 100, 0.0)
+        bw.record_out(0, "probe", 50, 0.0)
+        assert bw.bytes_per_node(kinds=("ls",))[0] == 100
+        assert bw.bytes_per_node(kinds=("probe",))[0] == 50
+        assert bw.bytes_per_node()[0] == 150
+
+    def test_bps_conversion(self):
+        bw = BandwidthRecorder(1, bucket_s=10.0)
+        bw.record_out(0, "ls", 1000, 5.0)  # 8000 bits over 100 s
+        assert bw.bps_per_node(t0=0.0, t1=100.0)[0] == pytest.approx(80.0)
+
+    def test_max_window(self):
+        bw = BandwidthRecorder(1, bucket_s=10.0)
+        # quiet minute, then a burst minute
+        bw.record_out(0, "ls", 100, 30.0)
+        bw.record_out(0, "ls", 10_000, 70.0)
+        peak = bw.max_window_bps(60.0, t0=0.0, t1=120.0)[0]
+        assert peak == pytest.approx(10_000 * 8 / 60.0)
+
+    def test_max_window_requires_alignment(self):
+        bw = BandwidthRecorder(1, bucket_s=7.0)
+        bw.record_out(0, "ls", 1, 0.0)
+        with pytest.raises(ConfigError):
+            bw.max_window_bps(60.0, t0=0.0, t1=70.0)
+
+    def test_bucket_growth(self):
+        bw = BandwidthRecorder(1, bucket_s=1.0)
+        bw.record_out(0, "ls", 5, 10_000.0)  # far beyond initial buckets
+        assert bw.bytes_per_node(t0=9_999.0, t1=10_001.0)[0] == 5
+
+    def test_vectorized_recording(self):
+        bw = BandwidthRecorder(4)
+        mask = np.array([True, False, True, False])
+        bw.record_in_many(mask, "probe", 46, 0.0)
+        bw.record_out_many(mask, "probe", 46, 0.0)
+        assert list(bw.bytes_per_node()) == [92, 0, 92, 0]
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            BandwidthRecorder(0)
+        with pytest.raises(ConfigError):
+            BandwidthRecorder(1, bucket_s=0.0)
+        bw = BandwidthRecorder(1)
+        with pytest.raises(ConfigError):
+            bw.bytes_per_node(t0=10.0, t1=5.0)
+
+
+class TestFreshnessRecorder:
+    def test_sample_and_ages(self):
+        fr = FreshnessRecorder(2)
+        last = np.array([[0.0, 10.0], [5.0, 0.0]])
+        fr.sample(30.0, last)
+        ages = fr.ages()
+        assert ages.shape == (1, 2, 2)
+        assert ages[0, 0, 1] == 20.0
+        assert ages[0, 1, 0] == 25.0
+        assert ages[0, 0, 0] == 0.0  # diagonal zeroed
+
+    def test_never_received_is_inf(self):
+        fr = FreshnessRecorder(2)
+        last = np.array([[0.0, -np.inf], [-np.inf, 0.0]])
+        fr.sample(10.0, last)
+        assert np.isinf(fr.ages()[0, 0, 1])
+
+    def test_per_pair_stats(self):
+        fr = FreshnessRecorder(2)
+        for now, age in ((30.0, 5.0), (60.0, 10.0), (90.0, 30.0)):
+            last = np.array([[0.0, now - age], [now - age, 0.0]])
+            fr.sample(now, last)
+        stats = fr.per_pair_stats()
+        assert stats["median"][0, 1] == 10.0
+        assert stats["average"][0, 1] == pytest.approx(15.0)
+        assert stats["max"][0, 1] == 30.0
+        assert 10.0 < stats["p97"][0, 1] <= 30.0
+
+    def test_per_destination_view(self):
+        fr = FreshnessRecorder(3)
+        last = np.zeros((3, 3))
+        fr.sample(7.0, last)
+        per_dst = fr.per_destination_stats(1)
+        assert per_dst["max"].shape == (3,)
+        with pytest.raises(ConfigError):
+            fr.per_destination_stats(9)
+
+    def test_no_samples_raises(self):
+        fr = FreshnessRecorder(2)
+        with pytest.raises(ConfigError):
+            fr.ages()
+
+    def test_shape_mismatch_rejected(self):
+        fr = FreshnessRecorder(2)
+        with pytest.raises(ConfigError):
+            fr.sample(0.0, np.zeros((3, 3)))
+
+
+class TestCounterSet:
+    def test_incr_get(self):
+        c = CounterSet()
+        c.incr("a")
+        c.incr("a", 4)
+        assert c.get("a") == 5
+        assert c.get("missing") == 0
+        assert c.as_dict() == {"a": 5}

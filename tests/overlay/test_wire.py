@@ -1,0 +1,146 @@
+"""Tests for the compact wire formats (§5) and the bandwidth calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import WireFormatError
+from repro.overlay import wire
+
+
+class TestMessageSizes:
+    def test_linkstate_is_3n_plus_header(self):
+        assert wire.linkstate_message_bytes(140) == 46 + 3 * 140
+
+    def test_multihop_linkstate_adds_sec_field(self):
+        assert wire.linkstate_message_bytes(100, multihop=True) == 46 + 5 * 100
+
+    def test_recommendation_is_4_per_entry(self):
+        # §5: "a recommendation message is 4 * (2 sqrt(n)) bytes".
+        assert wire.recommendation_message_bytes(24) == 46 + 4 * 24
+
+    def test_multihop_recommendation_adds_cost(self):
+        assert wire.recommendation_message_bytes(10, multihop=True) == 46 + 6 * 10
+
+    def test_probe_is_bare_header(self):
+        assert wire.PROBE_BYTES == wire.HEADER_BYTES == 46
+
+    def test_membership_message(self):
+        assert wire.membership_message_bytes(50) == 46 + 100
+
+    def test_calibration_reproduces_paper_formulas(self):
+        """The §6.1 closed forms fall out of the wire constants."""
+        # probing: 4 packets of 46 B per pair per 30 s -> 49.1 n bps
+        probing_coeff = 4 * wire.PROBE_BYTES * 8 / 30.0
+        assert probing_coeff == pytest.approx(49.1, abs=0.05)
+        # full mesh: 2n messages of (3n+46) B per 30 s
+        n = 1000.0
+        full = 2 * n * (3 * n + wire.HEADER_BYTES) * 8 / 30.0
+        assert full == pytest.approx(1.6 * n**2 + 24.5 * n, rel=0.002)
+        # quorum: 4 sqrt(n) LS + 4 sqrt(n) rec messages per 15 s
+        s = np.sqrt(n)
+        quorum = (
+            4 * s * (3 * n + wire.HEADER_BYTES) + 4 * s * (8 * s + wire.HEADER_BYTES)
+        ) * 8 / 15.0
+        assert quorum == pytest.approx(
+            6.4 * n * s + 17.1 * n + 196.3 * s, rel=0.002
+        )
+
+
+class TestLinkStateCodec:
+    def encode_decode(self, latency, alive, loss):
+        data = wire.encode_linkstate(latency, alive, loss)
+        return wire.decode_linkstate(data, len(latency))
+
+    def test_round_trip_simple(self):
+        latency = np.array([0.0, 120.0, 65000.0, 3.0])
+        alive = np.array([True, True, True, False])
+        loss = np.array([0.0, 0.25, 0.99, 0.5])
+        lat2, alive2, loss2 = self.encode_decode(latency, alive, loss)
+        assert lat2[0] == 0.0 and lat2[1] == 120.0 and lat2[2] == 65000.0
+        assert np.isinf(lat2[3])  # dead entries decode to inf
+        assert list(alive2) == [True, True, True, False]
+        assert loss2[1] == pytest.approx(0.25, abs=0.005)
+
+    def test_infinite_latency_encodes_as_dead(self):
+        lat, alive, _ = self.encode_decode(
+            np.array([np.inf]), np.array([True]), np.array([0.0])
+        )
+        assert np.isinf(lat[0])
+        assert not alive[0]
+
+    def test_latency_clamped_to_16_bits(self):
+        lat, alive, _ = self.encode_decode(
+            np.array([1e9]), np.array([True]), np.array([0.0])
+        )
+        assert lat[0] == wire.MAX_ENCODABLE_LATENCY_MS
+        assert alive[0]
+
+    def test_payload_size_is_3n(self):
+        n = 37
+        data = wire.encode_linkstate(
+            np.zeros(n), np.ones(n, dtype=bool), np.zeros(n)
+        )
+        assert len(data) == 3 * n
+
+    def test_wrong_length_decode_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.decode_linkstate(b"\x00" * 7, 2)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_linkstate(np.zeros(3), np.ones(2, dtype=bool), np.zeros(3))
+
+    def test_bad_loss_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_linkstate(
+                np.zeros(1), np.ones(1, dtype=bool), np.array([1.2])
+            )
+
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        latency = rng.uniform(0, 60000, n)
+        alive = rng.random(n) < 0.8
+        loss = rng.uniform(0, 1, n)
+        lat2, alive2, loss2 = self.encode_decode(latency, alive, loss)
+        assert np.array_equal(alive2, alive)
+        # alive entries: latency survives within rounding
+        live = alive
+        assert np.allclose(lat2[live], np.rint(latency[live]), atol=0.5)
+        assert np.all(np.isinf(lat2[~live]))
+        assert np.allclose(loss2, np.rint(loss * 100) / 100, atol=0.005)
+
+
+class TestRecommendationCodec:
+    def test_round_trip(self):
+        entries = [(3, 7), (10, 10), (65535, 0)]
+        data = wire.encode_recommendations(entries)
+        assert len(data) == 4 * len(entries)
+        assert wire.decode_recommendations(data) == entries
+
+    def test_empty(self):
+        assert wire.decode_recommendations(b"") == []
+
+    def test_id_overflow_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_recommendations([(70000, 1)])
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.decode_recommendations(b"\x00" * 6)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 65535), st.integers(0, 65535)), max_size=50
+        )
+    )
+    def test_round_trip_property(self, entries):
+        data = wire.encode_recommendations(entries)
+        assert wire.decode_recommendations(data) == entries

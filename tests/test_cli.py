@@ -1,0 +1,71 @@
+"""Tests for the experiment CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("capacity", "fig1", "fig9", "deployment", "scenarios",
+                    "ablations", "multihop", "sosr", "all"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig9", "--n", "36", "--duration", "60", "--seed", "7"]
+        )
+        assert args.n == 36 and args.duration == 60.0 and args.seed == 7
+
+
+class TestCommands:
+    def test_capacity_prints_headlines(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "165" in out
+        assert "49.07" in out
+
+    def test_fig1_small(self, capsys):
+        assert main(["fig1", "--n", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "best_one_hop" in out
+
+    def test_scenarios_small(self, capsys):
+        assert main(["scenarios", "--n", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario-1" in out
+
+    def test_multihop_small(self, capsys):
+        assert main(["multihop", "--n", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-hop" in out
+
+    def test_out_dir_writes_files(self, tmp_path, capsys):
+        assert main(["capacity", "--out", str(tmp_path)]) == 0
+        written = {p.name for p in tmp_path.iterdir()}
+        assert "table_capacity.txt" in written
+        assert "table_config.txt" in written
+
+    def test_deployment_small(self, capsys):
+        assert main(["deployment", "--n", "25", "--duration", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "Figure 12" in out
+
+    def test_adversarial_small(self, capsys):
+        assert main(["adversarial", "--n", "25", "--duration", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "adversarial" in out
+
+    def test_sosr_small(self, capsys):
+        assert main(["sosr", "--n", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Availability" in out

@@ -1,0 +1,88 @@
+"""Whole-system invariants that must hold for any run.
+
+These are conservation/consistency properties rather than behavior
+specs: bytes received can never exceed bytes sent (the transport only
+loses, never invents, traffic); all nodes sharing a membership view
+derive identical grids (§5's correctness requirement); recommendation
+hops always name real members.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.failures import build_failure_table
+from repro.net.trace import planetlab_like, uniform_random_metric
+from repro.overlay.config import RouterKind
+from repro.overlay.harness import build_overlay
+from repro.overlay.stats import ROUTING_KINDS
+
+
+@pytest.fixture(scope="module")
+def failed_overlay():
+    n = 25
+    rng = np.random.default_rng(83)
+    trace = planetlab_like(n, rng)
+    failures = build_failure_table(n, 900.0, rng)
+    ov = build_overlay(
+        trace=trace, router=RouterKind.QUORUM, rng=rng, failures=failures
+    )
+    ov.run(600.0)
+    return ov
+
+
+class TestConservation:
+    def test_bytes_in_never_exceed_bytes_out(self, failed_overlay):
+        bw = failed_overlay.bandwidth
+        for kind in ("ls", "rec", "probe"):
+            total_out = bw.bytes_per_node(kinds=(kind,), directions=("out",)).sum()
+            total_in = bw.bytes_per_node(kinds=(kind,), directions=("in",)).sum()
+            assert total_in <= total_out
+
+    def test_losses_actually_occur_under_failures(self, failed_overlay):
+        bw = failed_overlay.bandwidth
+        total_out = bw.bytes_per_node(kinds=ROUTING_KINDS, directions=("out",)).sum()
+        total_in = bw.bytes_per_node(kinds=ROUTING_KINDS, directions=("in",)).sum()
+        assert total_in < total_out  # injected outages drop messages
+
+    def test_transport_counters_consistent(self, failed_overlay):
+        t = failed_overlay.transport
+        assert t.delivered_count + t.dropped_count <= t.sent_count
+        assert t.delivered_count > 0
+
+
+class TestConsistency:
+    def test_all_nodes_share_view_and_grid(self, failed_overlay):
+        views = {node.router.view.version for node in failed_overlay.nodes}
+        assert len(views) == 1
+        grids = {
+            tuple(node.router.grid.members) for node in failed_overlay.nodes
+        }
+        assert len(grids) == 1
+
+    def test_grid_geometry_agrees_across_nodes(self, failed_overlay):
+        a = failed_overlay.nodes[0].router.grid
+        b = failed_overlay.nodes[-1].router.grid
+        for m in a.members:
+            assert a.servers(m) == b.servers(m)
+
+    def test_recommended_hops_are_valid_members(self, failed_overlay):
+        n = failed_overlay.n
+        for node in failed_overlay.nodes:
+            hops = node.router.route_hop
+            valid = (hops == -1) | ((hops >= 0) & (hops < n))
+            assert valid.all()
+
+    def test_route_tables_never_point_to_self_as_hop(self, failed_overlay):
+        for node in failed_overlay.nodes:
+            me = node.router.me_idx
+            hops = node.router.route_hop
+            dsts = np.where(hops == me)[0]
+            # hop == me would mean "route to yourself first" — the
+            # canonical direct form is hop == dst, never hop == me.
+            assert all(int(d) == me for d in dsts)
+
+    def test_failover_extra_servers_are_members(self, failed_overlay):
+        n = failed_overlay.n
+        for node in failed_overlay.nodes:
+            for s in node.router._extra_servers:
+                assert 0 <= s < n
