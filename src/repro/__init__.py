@@ -15,6 +15,9 @@ The package is organized as:
   helpers for the figures.
 * :mod:`repro.experiments` — runnable reproductions of every table and
   figure in the paper's evaluation.
+* :mod:`repro.workloads` — dynamic-membership workloads: deterministic
+  churn traces (Poisson join/leave/crash, mass failure, flash crowd)
+  and the engine that replays them against a running overlay.
 
 Quickstart::
 

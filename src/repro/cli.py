@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``)::
     repro-experiments ablations                # quorum + interval ablations
     repro-experiments multihop                 # §3 multi-hop scaling
     repro-experiments sosr                     # §2 random-intermediary study
+    repro-experiments churn --nodes 64 --rate 0.05   # dynamic membership
+                                               # (writes results/ unless --out)
     repro-experiments all                      # everything above
 
 Each command prints the same rows/series the paper's corresponding
@@ -146,6 +148,33 @@ def _cmd_adversarial(args: argparse.Namespace) -> None:
     _write(args.out, "table_ext_adversarial", format_adversarial(results))
 
 
+def _cmd_churn(args: argparse.Namespace) -> None:
+    from repro.experiments.churn import (
+        run_churn_comparison,
+        run_flash_crowd,
+        run_mass_failure_sweep,
+        run_rate_sweep,
+    )
+
+    n = args.n or 64
+    # The churn workload writes its disruption/recovery tables under
+    # results/ by default (they are the experiment's deliverable).
+    out = args.out if args.out is not None else pathlib.Path("results")
+    comparison = run_churn_comparison(
+        n=n, rate_per_s=args.rate, duration_s=args.duration, seed=args.seed
+    )
+    _write(out, "table_churn_comparison", comparison.format_table())
+    mass = run_mass_failure_sweep(n=n, seed=args.seed)
+    _write(out, "table_churn_mass_failure", mass.format_table())
+    flash = run_flash_crowd(n=n, seed=args.seed)
+    _write(out, "table_churn_flash_crowd", flash.format_table())
+    if args.full:
+        sweep = run_rate_sweep(
+            n=n, duration_s=args.duration, seed=args.seed
+        )
+        _write(out, "table_churn_rates", sweep.format_table())
+
+
 def _cmd_sosr(args: argparse.Namespace) -> None:
     from repro.experiments.related_work import (
         format_related_work,
@@ -161,6 +190,7 @@ def _cmd_sosr(args: argparse.Namespace) -> None:
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "adversarial": _cmd_adversarial,
     "capacity": _cmd_capacity,
+    "churn": _cmd_churn,
     "fig1": _cmd_fig1,
     "fig9": _cmd_fig9,
     "deployment": _cmd_deployment,
@@ -183,7 +213,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="which experiment to run ('all' runs every one)",
     )
     parser.add_argument(
-        "--n", type=int, default=None, help="overlay/trace size override"
+        "--n",
+        "--nodes",
+        dest="n",
+        type=int,
+        default=None,
+        help="overlay/trace size override",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="churn: membership events per second (default 0.05)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="churn: also run the (slower) churn-rate sweep",
     )
     parser.add_argument(
         "--duration",

@@ -37,3 +37,7 @@ class RoutingError(ReproError):
 
 class WireFormatError(ReproError):
     """A message could not be encoded to or decoded from its wire format."""
+
+
+class WorkloadError(ReproError):
+    """A churn trace or workload is malformed or infeasible."""

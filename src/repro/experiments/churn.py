@@ -1,0 +1,437 @@
+"""Churn experiments: dynamic membership under load (workload extension).
+
+The paper's evaluation (§6) runs on an essentially static membership.
+These experiments drive the §5 membership machinery hard, replaying
+*identical* deterministic churn traces against both routing algorithms:
+
+* **Sustained churn** — Poisson join/leave/crash processes at a given
+  rate; reports route availability and the disruption-duration CDF.
+* **Mass failure** — crash a fraction ``p`` of the overlay at one
+  instant; reports the availability dip and the time to full recovery
+  among survivors.
+* **Flash crowd** — a burst of simultaneous joins; reports how long the
+  newcomers take to become fully routable.
+
+"Disrupted" is judged against ground truth: a pair counts as disrupted
+while the source's *chosen* route does not actually work on the current
+underlay (for example, it still forwards through a crashed node). The
+quantities come from :class:`~repro.overlay.stats.DisruptionRecorder`
+samples taken every ``SAMPLE_PERIOD_S`` virtual seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.net.trace import planetlab_like
+from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.harness import Overlay, build_overlay
+from repro.workloads import ChurnTrace, ChurnWorkload, run_churn_workload
+
+__all__ = [
+    "ChurnRunStats",
+    "ChurnComparisonResult",
+    "FlashCrowdResult",
+    "MassFailureResult",
+    "RateSweepResult",
+    "run_churn_run",
+    "run_churn_comparison",
+    "run_flash_crowd",
+    "run_mass_failure_sweep",
+    "run_rate_sweep",
+]
+
+SAMPLE_PERIOD_S = 5.0
+ROUTERS: Tuple[RouterKind, ...] = (RouterKind.QUORUM, RouterKind.FULL_MESH)
+
+
+@dataclass
+class ChurnRunStats:
+    """Summary of one (router, churn trace) run."""
+
+    router: str
+    n: int
+    num_joins: int
+    num_leaves: int
+    num_fails: int
+    mean_availability: float
+    min_availability: float
+    num_disruptions: int
+    disruption_p50_s: float
+    disruption_p90_s: float
+    disruption_p99_s: float
+    disruption_max_s: float
+    recovery_s: Optional[float]  # after the first mass-failure mark
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_s is not None
+
+
+def _percentile(durations: np.ndarray, q: float) -> float:
+    return float(np.percentile(durations, q)) if durations.size else 0.0
+
+
+def _stats_from_workload(
+    workload: ChurnWorkload, measure_from_s: float
+) -> ChurnRunStats:
+    recorder = workload.recorder
+    assert recorder is not None
+    times, avail = recorder.availability_series()
+    window = times >= measure_from_s
+    durations = recorder.disruption_durations(measure_from_s)
+    marks = recorder.marks
+    recovery = (
+        recorder.recovery_time_after(marks[0][1]) if marks else None
+    )
+    trace = workload.trace
+    return ChurnRunStats(
+        router=workload.overlay.router_kind.value,
+        n=trace.n,
+        num_joins=trace.count("join"),
+        num_leaves=trace.count("leave"),
+        num_fails=trace.count("fail"),
+        mean_availability=float(avail[window].mean()) if window.any() else 1.0,
+        min_availability=recorder.min_availability(measure_from_s),
+        num_disruptions=int(durations.size),
+        disruption_p50_s=_percentile(durations, 50),
+        disruption_p90_s=_percentile(durations, 90),
+        disruption_p99_s=_percentile(durations, 99),
+        disruption_max_s=float(durations.max()) if durations.size else 0.0,
+        recovery_s=recovery,
+    )
+
+
+def run_churn_run(
+    churn: ChurnTrace,
+    router: RouterKind,
+    seed: int,
+    settle_s: float = 180.0,
+    measure_from_s: float = 60.0,
+    config: Optional[OverlayConfig] = None,
+) -> ChurnRunStats:
+    """Replay one churn trace on a fresh overlay and summarize it."""
+    rng = np.random.default_rng(seed)
+    net = planetlab_like(churn.n, rng, base_loss=0.0, lossy_fraction=0.0)
+    overlay = build_overlay(
+        trace=net,
+        router=router,
+        rng=rng,
+        config=config,
+        with_freshness=False,
+        active_members=churn.initial_active,
+    )
+    workload = run_churn_workload(
+        overlay, churn, settle_s=settle_s, sample_period_s=SAMPLE_PERIOD_S
+    )
+    return _stats_from_workload(workload, measure_from_s)
+
+
+# ----------------------------------------------------------------------
+# Experiment 1: quorum vs full mesh under identical churn traces
+# ----------------------------------------------------------------------
+@dataclass
+class ChurnComparisonResult:
+    """Both routers replaying the same Poisson churn trace."""
+
+    trace_summary: str
+    rate_per_s: float
+    duration_s: float
+    rows: List[ChurnRunStats]
+
+    def format_table(self) -> str:
+        rows = [
+            [
+                s.router,
+                s.num_joins,
+                s.num_leaves,
+                s.num_fails,
+                f"{s.mean_availability:.4f}",
+                f"{s.min_availability:.4f}",
+                s.num_disruptions,
+                f"{s.disruption_p50_s:.1f}",
+                f"{s.disruption_p90_s:.1f}",
+                f"{s.disruption_max_s:.1f}",
+            ]
+            for s in self.rows
+        ]
+        return render_table(
+            [
+                "router",
+                "joins",
+                "leaves",
+                "crashes",
+                "avail_mean",
+                "avail_min",
+                "disruptions",
+                "p50_s",
+                "p90_s",
+                "max_s",
+            ],
+            rows,
+            title=(
+                "Churn comparison — identical Poisson churn trace "
+                f"(rate {self.rate_per_s:g}/s over {self.duration_s:g}s): "
+                + self.trace_summary
+            ),
+        )
+
+
+def run_churn_comparison(
+    n: int = 64,
+    rate_per_s: float = 0.05,
+    duration_s: float = 300.0,
+    seed: int = 42,
+    crash_fraction: float = 0.5,
+    settle_s: float = 180.0,
+    config: Optional[OverlayConfig] = None,
+) -> ChurnComparisonResult:
+    """Both algorithms under one identical sustained-churn trace."""
+    churn = ChurnTrace.poisson(
+        n=n,
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        seed=seed,
+        crash_fraction=crash_fraction,
+        warmup_s=60.0,
+    )
+    rows = [
+        run_churn_run(churn, router, seed=seed, settle_s=settle_s, config=config)
+        for router in ROUTERS
+    ]
+    return ChurnComparisonResult(
+        trace_summary=churn.describe(),
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Experiment 2: recovery time vs mass-failure fraction
+# ----------------------------------------------------------------------
+@dataclass
+class MassFailureResult:
+    """Recovery measurements for coordinated mass failures."""
+
+    n: int
+    fail_at_s: float
+    rows: List[Tuple[float, ChurnRunStats]]  # (failed fraction, stats)
+
+    def format_table(self) -> str:
+        rows = []
+        for frac, s in self.rows:
+            rows.append(
+                [
+                    f"{frac:.2f}",
+                    s.router,
+                    s.num_fails,
+                    f"{s.min_availability:.4f}",
+                    "yes" if s.recovered else "NO",
+                    f"{s.recovery_s:.1f}" if s.recovery_s is not None else "-",
+                ]
+            )
+        return render_table(
+            [
+                "failed_frac",
+                "router",
+                "nodes_failed",
+                "avail_min",
+                "recovered",
+                "recovery_s",
+            ],
+            rows,
+            title=(
+                f"Mass failure — crash p*n of {self.n} nodes at "
+                f"t={self.fail_at_s:g}s; recovery = availability among "
+                "survivors back to 100%"
+            ),
+        )
+
+    def stats_for(self, fraction: float, router: str) -> ChurnRunStats:
+        for frac, s in self.rows:
+            if abs(frac - fraction) < 1e-9 and s.router == router:
+                return s
+        raise KeyError(f"no run for fraction={fraction} router={router}")
+
+
+def run_mass_failure_sweep(
+    n: int = 64,
+    fractions: Sequence[float] = (0.125, 0.25, 0.5),
+    seed: int = 42,
+    fail_at_s: float = 240.0,
+    settle_s: float = 300.0,
+    config: Optional[OverlayConfig] = None,
+) -> MassFailureResult:
+    """Crash ``p`` of the overlay at one instant, for several ``p``."""
+    rows: List[Tuple[float, ChurnRunStats]] = []
+    for frac in fractions:
+        churn = ChurnTrace.mass_failure(
+            n=n,
+            fraction=frac,
+            at_s=fail_at_s,
+            duration_s=fail_at_s + 60.0,
+            seed=seed,
+        )
+        for router in ROUTERS:
+            stats = run_churn_run(
+                churn,
+                router,
+                seed=seed,
+                settle_s=settle_s,
+                measure_from_s=fail_at_s,
+                config=config,
+            )
+            rows.append((frac, stats))
+    return MassFailureResult(n=n, fail_at_s=fail_at_s, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Experiment 3: disruption CDF vs churn rate (plus a flash crowd)
+# ----------------------------------------------------------------------
+@dataclass
+class RateSweepResult:
+    """Disruption behavior as the churn rate grows."""
+
+    n: int
+    duration_s: float
+    rows: List[Tuple[float, ChurnRunStats]]  # (rate, stats)
+
+    def format_table(self) -> str:
+        rows = []
+        for rate, s in self.rows:
+            rows.append(
+                [
+                    f"{rate:g}",
+                    s.router,
+                    s.num_joins + s.num_leaves + s.num_fails,
+                    f"{s.mean_availability:.4f}",
+                    f"{s.min_availability:.4f}",
+                    s.num_disruptions,
+                    f"{s.disruption_p50_s:.1f}",
+                    f"{s.disruption_p90_s:.1f}",
+                    f"{s.disruption_p99_s:.1f}",
+                ]
+            )
+        return render_table(
+            [
+                "rate_per_s",
+                "router",
+                "events",
+                "avail_mean",
+                "avail_min",
+                "disruptions",
+                "p50_s",
+                "p90_s",
+                "p99_s",
+            ],
+            rows,
+            title=(
+                f"Churn rate sweep — n={self.n}, {self.duration_s:g}s "
+                "traces; disruption durations in seconds (CDF percentiles)"
+            ),
+        )
+
+
+def run_rate_sweep(
+    n: int = 64,
+    rates: Sequence[float] = (0.01, 0.05, 0.1),
+    duration_s: float = 300.0,
+    seed: int = 42,
+    config: Optional[OverlayConfig] = None,
+) -> RateSweepResult:
+    """Sustained churn at increasing rates, both routers per rate."""
+    rows: List[Tuple[float, ChurnRunStats]] = []
+    for rate in rates:
+        churn = ChurnTrace.poisson(
+            n=n,
+            rate_per_s=rate,
+            duration_s=duration_s,
+            seed=seed,
+            crash_fraction=0.5,
+            warmup_s=60.0,
+        )
+        for router in ROUTERS:
+            rows.append(
+                (rate, run_churn_run(churn, router, seed=seed, config=config))
+            )
+    return RateSweepResult(n=n, duration_s=duration_s, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Experiment 4: flash crowd
+# ----------------------------------------------------------------------
+@dataclass
+class FlashCrowdResult:
+    """A join burst: how long until the newcomers are fully routable."""
+
+    n: int
+    count: int
+    at_s: float
+    rows: List[ChurnRunStats]
+
+    def format_table(self) -> str:
+        rows = [
+            [
+                s.router,
+                self.count,
+                f"{s.min_availability:.4f}",
+                f"{s.recovery_s:.1f}" if s.recovery_s is not None else "-",
+                s.num_disruptions,
+                f"{s.disruption_p90_s:.1f}",
+            ]
+            for s in self.rows
+        ]
+        return render_table(
+            [
+                "router",
+                "joiners",
+                "avail_min",
+                "settle_s",
+                "disruptions",
+                "p90_s",
+            ],
+            rows,
+            title=(
+                f"Flash crowd — {self.count} nodes join an overlay of "
+                f"{self.n - self.count} within 5s at t={self.at_s:g}s; "
+                "settle = availability back to 100%"
+            ),
+        )
+
+
+def run_flash_crowd(
+    n: int = 64,
+    count: Optional[int] = None,
+    seed: int = 42,
+    at_s: float = 240.0,
+    settle_s: float = 240.0,
+    config: Optional[OverlayConfig] = None,
+) -> FlashCrowdResult:
+    """A quarter of the overlay (by default) arrives within 5 seconds."""
+    count = count if count is not None else max(1, n // 4)
+    churn = ChurnTrace.flash_crowd(
+        n=n, count=count, at_s=at_s, duration_s=at_s + 60.0, seed=seed
+    )
+    rows = []
+    for router in ROUTERS:
+        rng = np.random.default_rng(seed)
+        net = planetlab_like(churn.n, rng, base_loss=0.0, lossy_fraction=0.0)
+        overlay = build_overlay(
+            trace=net,
+            router=router,
+            rng=rng,
+            config=config,
+            with_freshness=False,
+            active_members=churn.initial_active,
+        )
+        workload = ChurnWorkload(overlay, churn, sample_period_s=SAMPLE_PERIOD_S)
+        recorder = workload.install()
+        recorder.mark("flash-crowd", at_s)
+        workload.run(settle_s=settle_s)
+        rows.append(_stats_from_workload(workload, measure_from_s=at_s))
+    return FlashCrowdResult(n=n, count=count, at_s=at_s, rows=rows)

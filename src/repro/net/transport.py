@@ -54,6 +54,7 @@ class DatagramTransport:
         self._rng = rng
         self._bandwidth = bandwidth
         self._handlers: Dict[int, DeliveryHandler] = {}
+        self._registered = np.zeros(topology.n, dtype=bool)
         self.sent_count = 0
         self.dropped_count = 0
         self.delivered_count = 0
@@ -70,13 +71,25 @@ class DatagramTransport:
         if node_id in self._handlers:
             raise SimulationError(f"node {node_id} already registered")
         self._handlers[node_id] = handler
+        if 0 <= node_id < self._registered.shape[0]:
+            self._registered[node_id] = True
 
     def unregister(self, node_id: int) -> None:
         """Detach ``node_id``; in-flight messages to it are dropped."""
         self._handlers.pop(node_id, None)
+        if 0 <= node_id < self._registered.shape[0]:
+            self._registered[node_id] = False
 
     def is_registered(self, node_id: int) -> bool:
         return node_id in self._handlers
+
+    def registered_vector(self) -> np.ndarray:
+        """Per-node registration mask (read-only; do not mutate).
+
+        A node that tore down its binding (left or crashed) reads False:
+        probes and messages to it go unanswered, which is how peers'
+        monitors come to detect an overlay-level crash."""
+        return self._registered
 
     # ------------------------------------------------------------------
     # Sending

@@ -10,7 +10,7 @@ overlay nodes with staggered timer phases — and returns an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.overlay.router_quorum import QuorumRouter
 from repro.overlay.stats import (
     ROUTING_KINDS,
     BandwidthRecorder,
+    DisruptionRecorder,
     FreshnessRecorder,
 )
 
@@ -51,6 +52,8 @@ class Overlay:
         bandwidth: BandwidthRecorder,
         freshness: Optional[FreshnessRecorder],
         membership: MembershipService,
+        active: Optional[Iterable[int]] = None,
+        lifecycle_rng: Optional[np.random.Generator] = None,
     ):
         self.sim = sim
         self.topology = topology
@@ -61,6 +64,14 @@ class Overlay:
         self.bandwidth = bandwidth
         self.freshness = freshness
         self.membership = membership
+        #: Node IDs currently participating (joined and not left/failed).
+        self.active: Set[int] = (
+            set(range(len(nodes))) if active is None else set(active)
+        )
+        self._lifecycle_rng = (
+            lifecycle_rng if lifecycle_rng is not None else np.random.default_rng(0)
+        )
+        self.disruption: Optional[DisruptionRecorder] = None
 
     @property
     def n(self) -> int:
@@ -73,24 +84,56 @@ class Overlay:
         """Advance the simulation by ``duration_s`` seconds."""
         self.sim.run_until(self.sim.now + duration_s)
 
+    # ------------------------------------------------------------------
+    # Dynamic membership lifecycle
+    # ------------------------------------------------------------------
     def join_node(self, node_id: int) -> None:
-        """Admit a previously inactive node into the overlay.
+        """Admit an inactive node into the overlay (first join or rejoin).
 
         The node must exist in the underlay topology (it was built with
-        ``active_members`` excluding it). Its timers start right after
-        the membership view reaches it.
+        ``active_members`` excluding it, or has since left). Its monitor
+        state is reset, it is re-bound to the transport, and its timers
+        start — with randomly staggered phases, like the bootstrap
+        population's — right after the membership view reaches it.
         """
         node = self.nodes[node_id]
+        if node_id in self.active:
+            raise ConfigError(f"node {node_id} is already active")
+        node.prepare_join()
         self.membership.join(node.id, node.on_view)
-        interval = self.config.routing_interval_s(self.router_kind)
-        self.sim.schedule(0.1, node.start, 0.5, interval / 2.0)
+        self.active.add(node_id)
+        rng = self._lifecycle_rng
+        monitor_phase = float(
+            rng.uniform(0.05, self.config.probe_interval_s * 0.2)
+        )
+        router_phase = float(
+            rng.uniform(
+                self.config.probe_interval_s * 0.2,
+                self.config.routing_interval_s(self.router_kind),
+            )
+        )
+        # Start strictly after the membership push (notify delay) lands.
+        node.schedule_start(0.1, monitor_phase, router_phase)
 
     def leave_node(self, node_id: int) -> None:
-        """Remove a node from the overlay (its process keeps running on
-        the underlay but stops participating)."""
+        """Gracefully remove a node: it announces its departure, all
+        timers are cancelled, and its transport binding is released."""
         node = self.nodes[node_id]
-        node.stop()
+        if node_id not in self.active:
+            raise ConfigError(f"node {node_id} is not active")
+        node.teardown()
         self.membership.leave(node.id)
+        self.active.discard(node_id)
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash a node: it goes silent without telling the membership
+        service, which only learns via refresh expiry. Peers must detect
+        the failure through probing and route around it."""
+        node = self.nodes[node_id]
+        if node_id not in self.active:
+            raise ConfigError(f"node {node_id} is not active")
+        node.teardown()
+        self.active.discard(node_id)
 
     def start_freshness_sampling(self, period_s: Optional[float] = None) -> None:
         """Begin periodic route-freshness snapshots (§6.2.2's 30 s)."""
@@ -106,6 +149,28 @@ class Overlay:
             [node.router.last_rec_times_by_member(n) for node in self.nodes]
         )
         self.freshness.sample(self.sim.now, mat)
+
+    def attach_disruption(
+        self,
+        period_s: float = 5.0,
+        recorder: Optional[DisruptionRecorder] = None,
+    ) -> DisruptionRecorder:
+        """Begin periodic route-availability sampling (churn workloads).
+
+        Every ``period_s`` the overlay checks, for each active pair,
+        whether the source's chosen route works on the ground-truth
+        underlay, and feeds the result to a :class:`DisruptionRecorder`.
+        """
+        if self.disruption is not None:
+            raise ConfigError("disruption recorder already attached")
+        self.disruption = recorder if recorder is not None else DisruptionRecorder(self.n)
+        self.sim.periodic(period_s, self._sample_disruption, phase=period_s)
+        return self.disruption
+
+    def _sample_disruption(self) -> None:
+        assert self.disruption is not None
+        ok, mask = self.route_ok_matrix()
+        self.disruption.sample(self.sim.now, ok, mask)
 
     # ------------------------------------------------------------------
     # Measurements
@@ -132,7 +197,7 @@ class Overlay:
         np.fill_diagonal(hops, np.arange(n))
         for node in self.nodes:
             view = node.router.view
-            if view is None:
+            if view is None or not node.started:
                 continue
             members = view.members
             for d_idx, d_id in enumerate(members):
@@ -141,6 +206,49 @@ class Overlay:
                 route = node.router.route_to(d_idx)
                 hops[node.id, d_id] = members[route.hop] if route.hop >= 0 else -1
         return hops
+
+    def started_mask(self) -> np.ndarray:
+        """Boolean mask of nodes that are active with running timers and
+        a membership view (the measurable overlay population)."""
+        mask = np.zeros(self.n, dtype=bool)
+        for i in self.active:
+            node = self.nodes[i]
+            if node.started and node.router.view is not None:
+                mask[i] = True
+        return mask
+
+    def route_ok_matrix(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Ground-truth check of every active pair's chosen route.
+
+        Returns ``(ok, mask)``: ``mask`` is :meth:`started_mask`, and
+        ``ok[s, d]`` is True iff ``s``'s router currently answers a
+        usable route to ``d`` whose path actually works on the underlay
+        — the direct link is up, or the one-hop intermediary is a live
+        overlay node with both legs up. Pairs routed through a crashed
+        (but not yet detected) node therefore show as disrupted.
+        """
+        t = self.sim.now
+        mask = self.started_mask()
+        ok = np.zeros((self.n, self.n), dtype=bool)
+        ids = [int(i) for i in np.nonzero(mask)[0]]
+        up = {i: self.topology.up_vector(i, t) for i in ids}
+        for s in ids:
+            node = self.nodes[s]
+            view = node.router.view
+            for d in ids:
+                if d == s or d not in view:
+                    continue
+                route = node.router.route_to(view.index_of(d))
+                if not route.usable:
+                    continue
+                hop = int(view.members[route.hop])
+                if hop == d or hop == s:
+                    ok[s, d] = bool(up[s][d])
+                else:
+                    ok[s, d] = (
+                        bool(mask[hop]) and bool(up[s][hop]) and bool(up[hop][d])
+                    )
+        return ok, mask
 
     def double_failure_counts(self, proximal_only: bool = True) -> np.ndarray:
         """Per-node count of destinations with a double rendezvous
@@ -242,6 +350,19 @@ def build_overlay(
     active = set(range(n)) if active_members is None else set(active_members)
     if not active <= set(range(n)):
         raise ConfigError("active_members must be topology indices")
+
+    def _make_refresh(member_id: int):
+        # A heartbeat may race its own expiry/leave by one notify delay,
+        # so it checks membership before refreshing.
+        def _refresh() -> None:
+            if membership.is_member(member_id):
+                membership.refresh(member_id)
+
+        return _refresh
+
+    for node in nodes:
+        node.on_refresh = _make_refresh(node.id)
+
     membership.bootstrap(
         {node.id: node.on_view for node in nodes if node.id in active}
     )
@@ -267,6 +388,10 @@ def build_overlay(
         bandwidth=bandwidth,
         freshness=freshness,
         membership=membership,
+        active=active,
+        # Drawn after every pre-existing draw so static (no-churn) runs
+        # keep byte-identical results for a given seed.
+        lifecycle_rng=np.random.default_rng(rng.integers(2**63)),
     )
     if with_freshness:
         overlay.start_freshness_sampling()

@@ -93,6 +93,10 @@ class MembershipService:
     def view(self) -> MembershipView:
         return self._view
 
+    def is_member(self, member: int) -> bool:
+        """Whether ``member`` is currently in the membership."""
+        return member in self._last_refresh
+
     # ------------------------------------------------------------------
     # Membership changes
     # ------------------------------------------------------------------

@@ -16,9 +16,12 @@ interval) is accounted exactly as the per-packet transport would.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.transport import DatagramTransport
 
 from repro.errors import ConfigError
 from repro.net.packet import KIND_PROBE
@@ -44,6 +47,11 @@ class LinkMonitor:
         Callbacks invoked with the peer index on liveness transitions;
         the quorum router uses these to trigger immediate failover
         evaluation (§4.1's "immediately selects another ...").
+    transport:
+        When provided, a probe only succeeds if the peer's overlay
+        process is bound to the transport: a crashed node's links may be
+        fine at the underlay, but its prober is dead, so peers see
+        losses and (correctly) declare the path down.
     """
 
     def __init__(
@@ -56,6 +64,7 @@ class LinkMonitor:
         bandwidth: Optional[BandwidthRecorder] = None,
         on_link_down: Optional[LinkCallback] = None,
         on_link_up: Optional[LinkCallback] = None,
+        transport: Optional["DatagramTransport"] = None,
     ):
         n = topology.n
         if not 0 <= me < n:
@@ -67,6 +76,7 @@ class LinkMonitor:
         self._config = config
         self._rng = rng
         self._bandwidth = bandwidth
+        self._transport = transport
         self.on_link_down = on_link_down
         self.on_link_up = on_link_up
 
@@ -75,8 +85,9 @@ class LinkMonitor:
         self.alive = np.ones(n, dtype=bool)
         self.loss_est = np.zeros(n)
         self.consecutive_losses = np.zeros(n, dtype=np.int64)
-        #: peers currently in the rapid-reprobe state (first loss seen).
-        self._rapid_pending: Dict[int, int] = {}
+        #: peers currently in the rapid-reprobe state (first loss seen),
+        #: mapped to the pending follow-up probe event (for cancellation).
+        self._rapid_pending: Dict[int, object] = {}
         self._timer = None
         self._measurement_noise = 0.03
 
@@ -92,9 +103,36 @@ class LinkMonitor:
         )
 
     def stop(self) -> None:
+        """Halt probing, including any pending rapid follow-up probes.
+
+        A stopped monitor must go fully quiet: the in-flight rapid
+        re-probe events would otherwise keep firing (and keep accounting
+        probe bytes) after the node left the overlay.
+        """
         if self._timer is not None:
             self._timer.stop()
             self._timer = None
+        for event in self._rapid_pending.values():
+            event.cancel()
+        self._rapid_pending.clear()
+
+    def reset(self) -> None:
+        """Forget all measurement state (a node rejoining after downtime).
+
+        The monitor must be stopped. Estimates return to their optimistic
+        construction-time defaults: all links presumed alive, latencies
+        unknown until the first probe round.
+        """
+        if self._timer is not None:
+            raise ConfigError("reset on a running monitor")
+        for event in self._rapid_pending.values():
+            event.cancel()
+        self._rapid_pending.clear()
+        self.est_rtt_ms.fill(np.inf)
+        self.est_rtt_ms[self.me] = 0.0
+        self.alive.fill(True)
+        self.loss_est.fill(0.0)
+        self.consecutive_losses.fill(0)
 
     # ------------------------------------------------------------------
     # Queries (used by routers)
@@ -119,9 +157,15 @@ class LinkMonitor:
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------
+    def _peer_process_up(self) -> np.ndarray:
+        """Which peers' overlay processes can answer a probe at all."""
+        if self._transport is None:
+            return np.ones(self.n, dtype=bool)
+        return self._transport.registered_vector()
+
     def _probe_outcome_vector(self, t: float) -> np.ndarray:
         """Sample which probe exchanges succeed this round."""
-        up = self._topology.up_vector(self.me, t)
+        up = self._topology.up_vector(self.me, t) & self._peer_process_up()
         loss = self._topology.loss_vector(self.me)
         # Request and reply must both survive.
         success_prob = (1.0 - loss) ** 2
@@ -138,8 +182,9 @@ class LinkMonitor:
         self._bandwidth.record_out(
             self.me, KIND_PROBE, wire.PROBE_BYTES * int(others.sum()), t
         )
-        # Requests in + replies out at reachable peers.
-        reached = up & others
+        # Requests in + replies out at reachable peers (whose process
+        # is still running; a dead node neither receives nor replies).
+        reached = up & others & self._peer_process_up()
         self._bandwidth.record_in_many(reached, KIND_PROBE, wire.PROBE_BYTES, t)
         self._bandwidth.record_out_many(reached, KIND_PROBE, wire.PROBE_BYTES, t)
         # Replies that made it back to me.
@@ -184,7 +229,9 @@ class LinkMonitor:
         self.consecutive_losses[ok] = 0
         self.alive[ok] = True
         for j in np.where(came_back)[0]:
-            self._rapid_pending.pop(int(j), None)
+            pending = self._rapid_pending.pop(int(j), None)
+            if pending is not None:
+                pending.cancel()
             if self.on_link_up is not None:
                 self.on_link_up(int(j))
 
@@ -198,15 +245,16 @@ class LinkMonitor:
             j = int(j_arr)
             count = int(self.consecutive_losses[j])
             if count >= self._config.probes_to_fail:
-                self._rapid_pending.pop(j, None)
+                pending = self._rapid_pending.pop(j, None)
+                if pending is not None:
+                    pending.cancel()
                 if self.alive[j]:
                     self.alive[j] = False
                     if self.on_link_down is not None:
                         self.on_link_down(j)
             elif self.alive[j] and j not in self._rapid_pending:
                 # First loss on a live link: rapid re-probing (§5).
-                self._rapid_pending[j] = count
-                self._sim.schedule(
+                self._rapid_pending[j] = self._sim.schedule(
                     self._config.rapid_probe_interval_s, self._rapid_probe, j
                 )
 
@@ -216,7 +264,9 @@ class LinkMonitor:
             return
         del self._rapid_pending[j]
         t = self._sim.now
-        up = self._topology.link_is_up(self.me, j, t)
+        up = self._topology.link_is_up(self.me, j, t) and bool(
+            self._peer_process_up()[j]
+        )
         loss = self._topology.loss_probability(self.me, j)
         delivered = up and self._rng.random() < (1.0 - loss) ** 2
 

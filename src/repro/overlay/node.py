@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -61,6 +61,7 @@ class OverlayNode:
             bandwidth=bandwidth,
             on_link_down=self._link_down,
             on_link_up=self._link_up,
+            transport=transport,
         )
         if router_cls is None:
             router_cls = (
@@ -75,11 +76,27 @@ class OverlayNode:
         )
         self.transport = transport
         self._started = False
+        self._registered = True
+        #: Membership heartbeat hook; the harness points this at the
+        #: membership service's ``refresh`` so live nodes never expire.
+        self.on_refresh: Optional[Callable[[], None]] = None
+        self._refresh_timer = None
+        self._pending_start = None
         transport.register(node_id, self.on_message)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """True while the node's probing/routing timers are running."""
+        return self._started
+
+    @property
+    def registered(self) -> bool:
+        """True while the node is bound to the transport (reachable)."""
+        return self._registered
+
     def start(self, monitor_phase: float = 0.0, router_phase: float = 0.0) -> None:
         """Start probing and routing timers (phases stagger nodes)."""
         if self._started:
@@ -89,12 +106,70 @@ class OverlayNode:
         self._started = True
         self.monitor.start(phase=monitor_phase)
         self.router.start(phase=router_phase)
+        if self.on_refresh is not None:
+            # Heartbeat well inside the membership timeout so a live
+            # node is never expired (§5: timeouts are long; only truly
+            # dead nodes go silent for a whole timeout).
+            interval = self.config.membership_timeout_s / 3.0
+            self._refresh_timer = self.sim.periodic(
+                interval, self.on_refresh, phase=interval
+            )
+
+    def schedule_start(
+        self, delay: float, monitor_phase: float, router_phase: float
+    ) -> None:
+        """Start the node ``delay`` seconds from now (cancelled if the
+        node is stopped or torn down before then)."""
+        if self._pending_start is not None:
+            raise ConfigError(f"node {self.id} already has a pending start")
+        self._pending_start = self.sim.schedule(
+            delay, self._deferred_start, monitor_phase, router_phase
+        )
+
+    def _deferred_start(self, monitor_phase: float, router_phase: float) -> None:
+        self._pending_start = None
+        self.start(monitor_phase, router_phase)
+
+    def _cancel_pending_start(self) -> None:
+        if self._pending_start is not None:
+            self._pending_start.cancel()
+            self._pending_start = None
 
     def stop(self) -> None:
+        self._cancel_pending_start()
         if self._started:
             self.monitor.stop()
             self.router.stop()
+            if self._refresh_timer is not None:
+                self._refresh_timer.stop()
+                self._refresh_timer = None
             self._started = False
+
+    def teardown(self) -> None:
+        """Take the node off the network entirely (leave or crash).
+
+        Stops every timer (probing, routing, rapid probes, heartbeat)
+        and unbinds from the transport, so in-flight messages to this
+        node are dropped and no further events reference it.
+        """
+        self.stop()
+        if self._registered:
+            self.transport.unregister(self.id)
+            self._registered = False
+
+    def prepare_join(self) -> None:
+        """Re-arm a torn-down node so it can join the overlay (again).
+
+        Re-binds the transport and resets the link monitor to its
+        optimistic initial state; routing state is rebuilt when the
+        first membership view arrives.
+        """
+        if self._started:
+            raise ConfigError(f"node {self.id} is running; cannot rejoin")
+        if not self._registered:
+            self.transport.register(self.id, self.on_message)
+            self._registered = True
+        self.monitor.reset()
 
     # ------------------------------------------------------------------
     # Message / event dispatch
@@ -122,8 +197,11 @@ class OverlayNode:
         """Membership callback: rebuild the router's grid and tables.
 
         A view that no longer contains this node means it was removed
-        (leave or expiry); the node stops participating.
+        (leave or expiry); the node stops participating. A torn-down
+        (crashed) node ignores pushes — it is off the network.
         """
+        if not self._registered:
+            return
         if self.id not in view:
             self.stop()
             return

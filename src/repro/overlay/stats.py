@@ -32,6 +32,7 @@ __all__ = [
     "ROUTING_KINDS",
     "ALL_KINDS",
     "BandwidthRecorder",
+    "DisruptionRecorder",
     "FreshnessRecorder",
     "CounterSet",
 ]
@@ -267,6 +268,140 @@ class FreshnessRecorder:
             raise ConfigError(f"src {src} out of range")
         stats = self.per_pair_stats()
         return {key: mat[src] for key, mat in stats.items()}
+
+
+class DisruptionRecorder:
+    """Per-(src, dst) route availability across membership transitions.
+
+    The churn workloads sample, at a fixed period, whether each active
+    node's *chosen* route to each other active node actually works on
+    the current ground-truth underlay (direct link up, or the selected
+    one-hop intermediary alive and both legs up). This recorder turns
+    those samples into the §6-style quantities the churn evaluation
+    reports:
+
+    * an **availability time series** — fraction of measured (both
+      endpoints active) pairs whose route works at each sample;
+    * **disruption events** — maximal ``[start, end)`` intervals during
+      which a pair's route was continuously broken (pairs that stop
+      being measured mid-disruption, because an endpoint left or died,
+      are censored rather than recorded);
+    * **recovery times** — for a marked instant (a mass-failure event,
+      say), how long until availability first returns above a threshold.
+
+    Like the other recorders this one is passive and deterministic:
+    identical event sequences produce byte-identical series.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ConfigError("n must be positive")
+        self.n = n
+        self._down_since = np.full((n, n), np.nan)
+        self._events: List[Tuple[int, int, float, float]] = []
+        self._times: List[float] = []
+        self._avail: List[float] = []
+        self._measured_pairs: List[int] = []
+        self._marks: List[Tuple[str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def sample(self, now: float, ok: np.ndarray, active: np.ndarray) -> None:
+        """Record one availability snapshot.
+
+        Parameters
+        ----------
+        ok:
+            ``(n, n)`` boolean matrix; ``ok[s, d]`` means ``s``'s current
+            route to ``d`` works on the ground-truth underlay. Only
+            entries where both endpoints are active are read.
+        active:
+            ``(n,)`` boolean mask of nodes that are overlay members with
+            running timers at ``now``.
+        """
+        if ok.shape != (self.n, self.n) or active.shape != (self.n,):
+            raise ConfigError(
+                f"expected ok ({self.n}, {self.n}) and active ({self.n},), "
+                f"got {ok.shape} and {active.shape}"
+            )
+        measured = active[:, None] & active[None, :]
+        np.fill_diagonal(measured, False)
+
+        tracking = ~np.isnan(self._down_since)
+        # Close disruptions that healed; censor ones whose pair vanished.
+        recovered = tracking & measured & ok
+        for s, d in zip(*np.nonzero(recovered)):
+            self._events.append(
+                (int(s), int(d), float(self._down_since[s, d]), float(now))
+            )
+        self._down_since[recovered | (tracking & ~measured)] = np.nan
+        # Open new disruptions.
+        newly_down = measured & ~ok & np.isnan(self._down_since)
+        self._down_since[newly_down] = now
+
+        pairs = int(measured.sum())
+        self._times.append(float(now))
+        self._measured_pairs.append(pairs)
+        self._avail.append(
+            float(ok[measured].sum()) / pairs if pairs else 1.0
+        )
+
+    def mark(self, label: str, now: float) -> None:
+        """Tag an instant (e.g. the mass-failure time) for later queries."""
+        self._marks.append((label, float(now)))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return len(self._times)
+
+    @property
+    def marks(self) -> List[Tuple[str, float]]:
+        return list(self._marks)
+
+    def availability_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, availability)`` arrays, one entry per sample."""
+        return np.array(self._times), np.array(self._avail)
+
+    def events(self) -> List[Tuple[int, int, float, float]]:
+        """Closed disruption intervals as ``(src, dst, start, end)``."""
+        return list(self._events)
+
+    def open_disruptions(self) -> int:
+        """Pairs currently mid-disruption (no recovery sampled yet)."""
+        return int((~np.isnan(self._down_since)).sum())
+
+    def disruption_durations(
+        self, t0: float = 0.0, t1: float = math.inf
+    ) -> np.ndarray:
+        """Durations (s) of closed disruptions that *started* in [t0, t1)."""
+        return np.array(
+            [e - s for _, _, s, e in self._events if t0 <= s < t1], dtype=float
+        )
+
+    def min_availability(self, t0: float = 0.0, t1: float = math.inf) -> float:
+        """Lowest sampled availability in [t0, t1) (1.0 if no samples)."""
+        vals = [a for t, a in zip(self._times, self._avail) if t0 <= t < t1]
+        return min(vals) if vals else 1.0
+
+    def recovery_time_after(
+        self, t_event: float, threshold: float = 1.0
+    ) -> Optional[float]:
+        """Seconds from ``t_event`` until availability first dipped and
+        then returned to ``>= threshold``; ``None`` if it never recovered
+        within the samples, ``0.0`` if it never dipped."""
+        dipped = False
+        for t, a in zip(self._times, self._avail):
+            if t < t_event:
+                continue
+            if a < threshold:
+                dipped = True
+            elif dipped:
+                return t - t_event
+        return 0.0 if not dipped else None
 
 
 class CounterSet:

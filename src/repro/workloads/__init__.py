@@ -1,0 +1,77 @@
+"""Dynamic-membership workloads for the overlay (churn engine).
+
+The paper's §5 membership service supports joins, leaves, and refresh
+expiry, but the original evaluation (§6) runs on an essentially static
+population. This package exercises the *dynamic* side at scale: it
+drives scheduled membership events — sustained churn, coordinated mass
+failures, flash-crowd join bursts — against a running
+:class:`~repro.overlay.harness.Overlay`, entirely through the
+deterministic discrete-event :class:`~repro.net.simulator.Simulator`, so
+every run is reproducible from its seeds.
+
+Layout
+------
+:mod:`repro.workloads.trace`
+    :class:`ChurnTrace` — a materialized, validated schedule of
+    :class:`ChurnEvent` s (who joins/leaves/crashes, and when), plus the
+    three generator families: ``poisson`` (sustained churn with a
+    configurable crash fraction), ``mass_failure`` (fail a fraction of
+    the overlay at one instant), and ``flash_crowd`` (a join burst).
+    Traces are generated ahead of the run so two router kinds can replay
+    *identical* churn.
+
+:mod:`repro.workloads.engine`
+    :class:`ChurnWorkload` — binds a trace to an overlay: schedules each
+    event on the simulator, applies it through the overlay's lifecycle
+    API (``join_node`` / ``leave_node`` / ``fail_node``), and wires up
+    the :class:`~repro.overlay.stats.DisruptionRecorder` that measures
+    per-pair route availability, disruption durations, and
+    time-to-recover across view transitions.
+
+Semantics worth knowing
+-----------------------
+* A **leave** is graceful: the membership service bumps the view at
+  once, and the node's timers and transport binding are torn down.
+* A **fail** (crash) is silent: peers must detect it by probing, and the
+  membership service only learns via refresh expiry — exactly the §5
+  division of labor between failover and membership.
+* Crashed nodes stay dead for the rest of a trace (they are still
+  members until their refresh times out, so they cannot rejoin).
+* Disruption is judged against **ground truth**: a pair counts as
+  disrupted while the source's chosen route does not actually work on
+  the current underlay (e.g. it still points through a crashed node).
+
+Quick start::
+
+    from repro.overlay.harness import build_overlay
+    from repro.workloads import ChurnTrace, run_churn_workload
+
+    churn = ChurnTrace.mass_failure(n=64, fraction=0.25, at_s=300.0,
+                                    duration_s=600.0, seed=7)
+    overlay = build_overlay(n=64, active_members=churn.initial_active)
+    workload = run_churn_workload(overlay, churn, settle_s=180.0)
+    print(workload.recorder.recovery_time_after(300.0))
+
+The `churn` CLI subcommand (``python -m repro churn``) and
+:mod:`repro.experiments.churn` build the paper-style results tables on
+top of these pieces.
+"""
+
+from repro.workloads.engine import ChurnWorkload, run_churn_workload
+from repro.workloads.trace import (
+    ACTION_FAIL,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ChurnEvent,
+    ChurnTrace,
+)
+
+__all__ = [
+    "ACTION_FAIL",
+    "ACTION_JOIN",
+    "ACTION_LEAVE",
+    "ChurnEvent",
+    "ChurnTrace",
+    "ChurnWorkload",
+    "run_churn_workload",
+]

@@ -1,0 +1,133 @@
+"""The churn workload engine: replay a :class:`ChurnTrace` on an overlay.
+
+The engine schedules every trace event on the overlay's own simulator, so
+churn is just more events in the same deterministic event loop — a run is
+reproducible bit-for-bit from ``(overlay seed, trace)``. It also attaches
+the overlay's :class:`~repro.overlay.stats.DisruptionRecorder` sampling
+and marks each mass-failure instant on it so recovery times can be read
+off afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.overlay.harness import Overlay
+from repro.overlay.stats import CounterSet, DisruptionRecorder
+from repro.workloads.trace import (
+    ACTION_FAIL,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ChurnEvent,
+    ChurnTrace,
+)
+
+__all__ = ["ChurnWorkload", "run_churn_workload"]
+
+
+class ChurnWorkload:
+    """Drives one :class:`ChurnTrace` against one running :class:`Overlay`.
+
+    Usage::
+
+        overlay = build_overlay(trace=net_trace, rng=rng,
+                                active_members=churn.initial_active)
+        workload = ChurnWorkload(overlay, churn)
+        workload.install()
+        workload.run(settle_s=120.0)
+        recorder = workload.recorder   # disruption / recovery stats
+
+    ``install`` may only be called once, before any trace event is due.
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        trace: ChurnTrace,
+        sample_period_s: float = 5.0,
+    ):
+        if trace.n != overlay.n:
+            raise WorkloadError(
+                f"trace is for n={trace.n}, overlay has n={overlay.n}"
+            )
+        if set(trace.initial_active) != overlay.active:
+            raise WorkloadError(
+                "overlay active set does not match trace.initial_active; "
+                "build the overlay with active_members=trace.initial_active"
+            )
+        self.overlay = overlay
+        self.trace = trace
+        self._sample_period_s = sample_period_s
+        self._installed = False
+        self.counters = CounterSet()
+        #: Events actually applied so far, as ``(time, action, node)``.
+        self.applied: List[Tuple[float, str, int]] = []
+        self.recorder: Optional[DisruptionRecorder] = None
+
+    # ------------------------------------------------------------------
+    # Setup / driving
+    # ------------------------------------------------------------------
+    def install(self) -> DisruptionRecorder:
+        """Schedule every trace event and start disruption sampling."""
+        if self._installed:
+            raise WorkloadError("workload already installed")
+        sim = self.overlay.sim
+        if self.trace.events and self.trace.events[0].time < sim.now:
+            raise WorkloadError(
+                f"first trace event at t={self.trace.events[0].time} is in "
+                f"the past (now t={sim.now})"
+            )
+        self._installed = True
+        self.recorder = (
+            self.overlay.disruption
+            if self.overlay.disruption is not None
+            else self.overlay.attach_disruption(self._sample_period_s)
+        )
+        for ev in self.trace.events:
+            sim.schedule_at(ev.time, self._apply, ev)
+        return self.recorder
+
+    def run(self, settle_s: float = 0.0) -> None:
+        """Advance to the trace horizon plus ``settle_s`` of quiet time.
+
+        The settle window is where recovery is observed: detection takes
+        up to a probing interval and route repair up to two routing
+        intervals, so give it a few minutes after the last event.
+        """
+        if not self._installed:
+            raise WorkloadError("call install() before run()")
+        self.overlay.sim.run_until(self.trace.duration_s + settle_s)
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def _apply(self, ev: ChurnEvent) -> None:
+        if ev.action == ACTION_JOIN:
+            self.overlay.join_node(ev.node)
+        elif ev.action == ACTION_LEAVE:
+            self.overlay.leave_node(ev.node)
+        else:
+            # Mark each distinct mass-failure instant once, so recovery
+            # queries know where to measure from.
+            assert self.recorder is not None
+            marks = self.recorder.marks
+            if not marks or marks[-1][1] != ev.time:
+                self.recorder.mark("mass-failure", ev.time)
+            self.overlay.fail_node(ev.node)
+        self.counters.incr(ev.action)
+        self.applied.append((ev.time, ev.action, ev.node))
+
+
+def run_churn_workload(
+    overlay: Overlay,
+    trace: ChurnTrace,
+    settle_s: float = 180.0,
+    sample_period_s: float = 5.0,
+) -> ChurnWorkload:
+    """Install ``trace`` on ``overlay``, run it to completion, and return
+    the finished workload (stats via ``workload.recorder``)."""
+    workload = ChurnWorkload(overlay, trace, sample_period_s=sample_period_s)
+    workload.install()
+    workload.run(settle_s=settle_s)
+    return workload

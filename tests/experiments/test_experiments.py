@@ -223,3 +223,47 @@ class TestMultihopScaling:
         for r in rows:
             assert 2.0 < r.multihop_over_onehop < 2.5 * r.iterations
         assert "multi-hop" in format_multihop_scaling(rows)
+
+
+class TestChurnExperiments:
+    """Small/fast parameterizations of the churn workload experiments."""
+
+    def test_comparison_runs_both_routers_on_one_trace(self):
+        from repro.experiments.churn import run_churn_comparison
+
+        result = run_churn_comparison(
+            n=20, rate_per_s=0.05, duration_s=180.0, seed=7, settle_s=90.0
+        )
+        assert [s.router for s in result.rows] == ["quorum", "full-mesh"]
+        quorum, mesh = result.rows
+        # Identical trace: both rows report the same event counts.
+        assert (quorum.num_joins, quorum.num_leaves, quorum.num_fails) == (
+            mesh.num_joins,
+            mesh.num_leaves,
+            mesh.num_fails,
+        )
+        for s in result.rows:
+            assert 0.0 <= s.min_availability <= s.mean_availability <= 1.0
+        assert "identical Poisson churn" in result.format_table()
+
+    def test_mass_failure_both_routers_recover(self):
+        from repro.experiments.churn import run_mass_failure_sweep
+
+        result = run_mass_failure_sweep(
+            n=20, fractions=(0.25,), seed=7, fail_at_s=120.0, settle_s=240.0
+        )
+        for router in ("quorum", "full-mesh"):
+            stats = result.stats_for(0.25, router)
+            assert stats.num_fails == 5
+            assert stats.recovered
+            assert stats.recovery_s <= 180.0
+        assert "Mass failure" in result.format_table()
+
+    def test_flash_crowd_settles(self):
+        from repro.experiments.churn import run_flash_crowd
+
+        result = run_flash_crowd(n=20, count=5, seed=7, at_s=120.0, settle_s=180.0)
+        for s in result.rows:
+            assert s.num_joins == 5
+            assert s.recovery_s is not None  # newcomers became routable
+        assert "Flash crowd" in result.format_table()

@@ -179,6 +179,130 @@ class TestPeriodicTimer:
         assert seen == ["tick", "tick"]
 
 
+class TestEdgeCases:
+    """Churn-engine-motivated corners: same-instant scheduling, cancels
+    interleaved with ties, and timers stopped from their own callback."""
+
+    def test_stop_timer_from_inside_callback_cancels_pending_event(self):
+        # The timer re-schedules itself *before* running the callback;
+        # stop() from inside the callback must cancel that fresh event.
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            timer.stop()
+
+        timer = sim.periodic(2.0, cb, phase=2.0)
+        sim.run_until(2.0)
+        assert fired == [2.0]
+        assert sim.pending() == 0
+        sim.run_until(100.0)
+        assert fired == [2.0]
+
+    def test_stop_timer_inside_callback_with_same_time_followers(self):
+        # Other events at the same timestamp still run after the stop.
+        sim = Simulator()
+        seen = []
+
+        def cb():
+            seen.append("timer")
+            timer.stop()
+
+        timer = sim.periodic(5.0, cb, phase=5.0)
+        sim.schedule(5.0, seen.append, "follower")
+        sim.run_until(20.0)
+        assert seen == ["timer", "follower"]
+
+    def test_schedule_at_exactly_now_outside_run(self):
+        sim = Simulator(start_time=7.0)
+        fired = []
+        sim.schedule_at(7.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 7.0
+
+    def test_zero_delay_from_inside_callback_fires_same_timestamp(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(0.0, lambda: seen.append(("inner", sim.now)))
+
+        sim.schedule(3.0, outer)
+        sim.schedule(3.0, lambda: seen.append(("peer", sim.now)))
+        sim.run()
+        # The zero-delay event lands at the same instant but *after*
+        # already-queued same-time events (insertion order).
+        assert seen == [("outer", 3.0), ("peer", 3.0), ("inner", 3.0)]
+
+    def test_zero_delay_at_run_until_boundary_still_fires(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.0, lambda: sim.schedule(0.0, seen.append, "inner"))
+        sim.run_until(4.0)
+        assert seen == ["inner"]
+        assert sim.now == 4.0
+
+    def test_tie_break_by_insertion_order_under_interleaved_cancels(self):
+        sim = Simulator()
+        seen = []
+        events = {}
+
+        def canceller():
+            seen.append("a")
+            events["c"].cancel()
+            events["e"].cancel()
+
+        sim.schedule(2.0, canceller)
+        for tag in "bcde":
+            events[tag] = sim.schedule(2.0, seen.append, tag)
+        # A later same-time event scheduled after some cancels keeps its
+        # insertion position.
+        sim.schedule(2.0, seen.append, "f")
+        sim.run()
+        assert seen == ["a", "b", "d", "f"]
+
+    def test_cancel_then_schedule_same_time_preserves_order(self):
+        sim = Simulator()
+        seen = []
+        first = sim.schedule(1.0, seen.append, "first")
+        first.cancel()
+        sim.schedule(1.0, seen.append, "second")
+        sim.schedule(1.0, seen.append, "third")
+        sim.run()
+        assert seen == ["second", "third"]
+
+    def test_periodic_timer_started_inside_callback_at_phase_zero(self):
+        # phase=0 means "first firing now": legal from inside an event.
+        sim = Simulator()
+        seen = []
+
+        def starter():
+            timers.append(sim.periodic(10.0, lambda: seen.append(sim.now)))
+
+        timers = []
+        sim.schedule(5.0, starter)
+        sim.run_until(25.0)
+        assert seen == [5.0, 15.0, 25.0]
+
+    def test_stop_is_idempotent_from_callback_and_outside(self):
+        sim = Simulator()
+        count = []
+
+        def cb():
+            count.append(sim.now)
+            timer.stop()
+            timer.stop()
+
+        timer = sim.periodic(1.0, cb, phase=1.0)
+        sim.run_until(10.0)
+        timer.stop()
+        assert count == [1.0]
+        assert timer.stopped
+
+
 class TestDeterminism:
     def test_identical_schedules_produce_identical_traces(self):
         def run_once():

@@ -103,3 +103,85 @@ class TestMembershipService:
         v1 = svc.view.version
         svc.join(2, lambda v: None)
         assert svc.view.version > v1
+
+
+class TestRefreshExpiry:
+    """Regression tests for refresh() and _expire_stale timing."""
+
+    def test_refresh_within_timeout_is_never_expired(self):
+        # A node that refreshes strictly inside the timeout must survive
+        # arbitrarily many expiry checks — even refreshing at exactly
+        # one-timeout intervals (now - last == timeout is not stale).
+        sim = Simulator()
+        svc = MembershipService(sim, timeout_s=100.0, expiry_check_s=10.0)
+        svc.bootstrap({1: lambda v: None, 2: lambda v: None})
+        sim.periodic(100.0, lambda: svc.refresh(1), phase=100.0)
+        sim.periodic(99.0, lambda: svc.refresh(2), phase=99.0)
+        sim.run_until(2000.0)
+        assert svc.is_member(1)
+        assert svc.is_member(2)
+        assert svc.view.members == (1, 2)
+
+    def test_expiry_bumps_version_exactly_once(self):
+        sim = Simulator()
+        svc = MembershipService(sim, timeout_s=100.0, expiry_check_s=10.0)
+        versions = []
+        svc.bootstrap({1: lambda v: versions.append(v.version), 2: lambda v: None})
+        versions.clear()
+        v0 = svc.view.version
+        sim.periodic(50.0, lambda: svc.refresh(1), phase=50.0)
+        # Node 2 goes silent; run far past several timeout multiples.
+        sim.run_until(1000.0)
+        assert svc.view.members == (1,)
+        # Node 1 observed exactly one version bump from the expiry, and
+        # no further rebuilds on later (no-op) expiry checks.
+        assert versions == [v0 + 1]
+        assert svc.view.version == v0 + 1
+
+    def test_simultaneous_expiries_bump_version_once_total(self):
+        # Several nodes going stale before the same expiry check leave
+        # in one view transition, not one per node.
+        sim = Simulator()
+        svc = MembershipService(sim, timeout_s=100.0, expiry_check_s=200.0)
+        versions = []
+        svc.bootstrap(
+            {
+                1: lambda v: versions.append(v.version),
+                2: lambda v: None,
+                3: lambda v: None,
+            }
+        )
+        versions.clear()
+        v0 = svc.view.version
+        sim.periodic(50.0, lambda: svc.refresh(1), phase=50.0)
+        sim.run_until(500.0)
+        assert svc.view.members == (1,)
+        assert versions == [v0 + 1]
+
+    def test_expired_node_is_notified_of_its_removal(self):
+        sim = Simulator()
+        svc = MembershipService(sim, timeout_s=100.0, expiry_check_s=10.0)
+        got = {}
+        svc.bootstrap(
+            {
+                1: lambda v: got.__setitem__(1, v),
+                2: lambda v: got.__setitem__(2, v),
+            }
+        )
+        sim.periodic(50.0, lambda: svc.refresh(1), phase=50.0)
+        sim.run_until(300.0)
+        assert not svc.is_member(2)
+        # The survivor heard about the removal; 2 was dropped from the
+        # subscriber list before notification went out.
+        assert got[1].members == (1,)
+        assert 2 in got[2].members  # 2's last view predates its expiry
+
+    def test_rejoin_after_expiry_is_allowed(self):
+        sim = Simulator()
+        svc = MembershipService(sim, timeout_s=100.0, expiry_check_s=10.0)
+        svc.bootstrap({1: lambda v: None, 2: lambda v: None})
+        sim.periodic(50.0, lambda: svc.refresh(1), phase=50.0)
+        sim.run_until(300.0)
+        assert not svc.is_member(2)
+        svc.join(2, lambda v: None)
+        assert svc.view.members == (1, 2)

@@ -11,9 +11,15 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for cmd in ("capacity", "fig1", "fig9", "deployment", "scenarios",
-                    "ablations", "multihop", "sosr", "all"):
+                    "ablations", "multihop", "sosr", "churn", "all"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
+
+    def test_nodes_alias_and_rate(self):
+        args = build_parser().parse_args(
+            ["churn", "--nodes", "64", "--rate", "0.05", "--seed", "1"]
+        )
+        assert args.n == 64 and args.rate == 0.05 and args.seed == 1
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -69,3 +75,16 @@ class TestCommands:
         assert main(["sosr", "--n", "60"]) == 0
         out = capsys.readouterr().out
         assert "Availability" in out
+
+    def test_churn_small(self, tmp_path, capsys):
+        assert main(
+            ["churn", "--nodes", "20", "--duration", "150", "--seed", "3",
+             "--out", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Churn comparison" in out
+        assert "Mass failure" in out
+        assert "Flash crowd" in out
+        written = {p.name for p in tmp_path.iterdir()}
+        assert "table_churn_comparison.txt" in written
+        assert "table_churn_mass_failure.txt" in written
