@@ -12,6 +12,8 @@ Usage (also via ``python -m repro``)::
     repro-experiments sosr                     # §2 random-intermediary study
     repro-experiments churn --nodes 64 --rate 0.05   # dynamic membership
                                                # (writes results/ unless --out)
+    repro-experiments membership               # view-delta scaling sweep
+    repro-experiments membership --smoke       # fast n=256-only CI path
     repro-experiments all                      # everything above
 
 Each command prints the same rows/series the paper's corresponding
@@ -175,6 +177,34 @@ def _cmd_churn(args: argparse.Namespace) -> None:
         _write(out, "table_churn_rates", sweep.format_table())
 
 
+def _cmd_membership(args: argparse.Namespace) -> None:
+    from repro.experiments.membership_scaling import run_membership_scaling
+
+    if args.smoke:
+        sizes = (256,)
+    elif args.n is not None:
+        sizes = (args.n,)
+    else:
+        sizes = (256, 1024, 2048)
+    # Like churn, the scaling table is the deliverable: write it under
+    # results/ unless the caller redirects it.
+    out = args.out if args.out is not None else pathlib.Path("results")
+    result = run_membership_scaling(
+        sizes=sizes, duration_s=args.duration, seed=args.seed
+    )
+    name = (
+        "table_membership_scaling"
+        if not args.smoke and args.n is None
+        else "table_membership_scaling_smoke"
+    )
+    _write(out, name, result.format_table())
+    for stats in result.rows:
+        if not stats.converged:
+            raise SystemExit(
+                f"membership run n={stats.n} mode={stats.mode} did not converge"
+            )
+
+
 def _cmd_sosr(args: argparse.Namespace) -> None:
     from repro.experiments.related_work import (
         format_related_work,
@@ -194,6 +224,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": _cmd_fig1,
     "fig9": _cmd_fig9,
     "deployment": _cmd_deployment,
+    "membership": _cmd_membership,
     "scenarios": _cmd_scenarios,
     "ablations": _cmd_ablations,
     "multihop": _cmd_multihop,
@@ -230,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="churn: also run the (slower) churn-rate sweep",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="membership: fast CI path (n=256 only, separate output file)",
     )
     parser.add_argument(
         "--duration",

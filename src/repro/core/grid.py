@@ -18,17 +18,26 @@ per node.
 
 The construction is deterministic given the member list, so all overlay
 nodes that share a membership view derive identical grids (§5,
-"Membership Service").
+"Membership Service"). Because the fill is row-major over an explicit
+member list, a single membership change can be applied *incrementally*
+(:meth:`GridQuorum.insert_member` / :meth:`GridQuorum.remove_member`):
+only the positions at or after the changed slot move, and row/column
+membership is derived from the fill by slicing rather than stored — no
+from-scratch re-derivation. :meth:`GridQuorum.assert_equals_fresh`
+proves a delta-applied grid identical to one rebuilt from scratch.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import QuorumError
 
 __all__ = ["grid_dimensions", "GridQuorum"]
+
+_NO_EXTRA: FrozenSet[int] = frozenset()
 
 
 def grid_dimensions(n: int) -> Tuple[int, int]:
@@ -76,24 +85,43 @@ class GridQuorum:
         if not members:
             raise QuorumError("grid needs at least one member")
         self._members: List[int] = members
-        self.n = len(members)
+        # Incremental inserts rely on bisection, which is only sound on
+        # the canonical (sorted) fill order the membership service uses.
+        self._canonical = all(
+            members[i] < members[i + 1] for i in range(len(members) - 1)
+        )
+        self._refit(from_idx=None)
+
+    # ------------------------------------------------------------------
+    # Geometry derivation
+    # ------------------------------------------------------------------
+    def _refit(self, from_idx: Optional[int]) -> None:
+        """Recompute geometry after ``self._members`` changed.
+
+        ``from_idx`` is the first fill slot whose occupant changed; only
+        indices from there on are recomputed. ``None`` means everything
+        (construction, or a column-count change that moves every node).
+        """
+        self.n = len(self._members)
+        old_cols = getattr(self, "cols", None)
         self.rows, self.cols = grid_dimensions(self.n)
         # k = number of filled positions in the (possibly partial) last row.
         self.last_row_fill = self.n - (self.rows - 1) * self.cols
+        if from_idx is None or self.cols != old_cols:
+            self._index: Dict[int, int] = {
+                m: i for i, m in enumerate(self._members)
+            }
+        else:
+            for i in range(from_idx, self.n):
+                self._index[self._members[i]] = i
+        self._compute_extra()
+        self._servers_cache: Dict[int, Tuple[int, ...]] = {}
 
-        self._pos: Dict[int, Tuple[int, int]] = {}
-        for idx, member in enumerate(members):
-            self._pos[member] = divmod(idx, self.cols)
-
-        self._row_members: List[List[int]] = [[] for _ in range(self.rows)]
-        self._col_members: List[List[int]] = [[] for _ in range(self.cols)]
-        for member, (r, c) in self._pos.items():
-            self._row_members[r].append(member)
-            self._col_members[c].append(member)
-
+    def _compute_extra(self) -> None:
         # §3 blank-space augmentation: bottom-row node in column c0 gains
         # the nodes at (c0, j) for each blank column j; symmetric back-link.
-        self._extra: Dict[int, Set[int]] = {m: set() for m in members}
+        # Stored sparsely — only the O(sqrt(n)) involved members appear.
+        self._extra: Dict[int, Set[int]] = {}
         if self.last_row_fill < self.cols and self.rows > 1:
             bottom = self.rows - 1
             for c0 in range(self.last_row_fill):
@@ -103,10 +131,73 @@ class GridQuorum:
                     partner = self.at(c0, blank_col)
                     if partner is None:  # pragma: no cover - cannot happen
                         raise QuorumError("blank-column partner missing")
-                    self._extra[bottom_node].add(partner)
-                    self._extra[partner].add(bottom_node)
+                    self._extra.setdefault(bottom_node, set()).add(partner)
+                    self._extra.setdefault(partner, set()).add(bottom_node)
 
-        self._servers_cache: Dict[int, Tuple[int, ...]] = {}
+    # ------------------------------------------------------------------
+    # Incremental membership changes
+    # ------------------------------------------------------------------
+    def insert_member(self, member: int) -> int:
+        """Add ``member`` at its canonical (sorted) fill slot; return it.
+
+        Only slots at or after the insertion point are re-derived; when
+        the insertion lands at the tail (the common case for the view-
+        index grids the routers build, whose members are ``0..n-1``),
+        nothing shifts at all. Requires the current fill to be in sorted
+        canonical order.
+        """
+        if member in self._index:
+            raise QuorumError(f"{member} is already in this grid")
+        if not self._canonical:
+            raise QuorumError(
+                "incremental insert requires the canonical sorted fill order"
+            )
+        idx = bisect.bisect_left(self._members, member)
+        self._members.insert(idx, member)
+        self._refit(from_idx=idx)
+        return idx
+
+    def remove_member(self, member: int) -> int:
+        """Remove ``member``; return the fill slot it occupied.
+
+        Slots before the removed one are untouched; a tail removal (the
+        routers' shrinking view-index grids) shifts nothing.
+        """
+        if self.n == 1:
+            raise QuorumError("grid needs at least one member")
+        idx = self._index.pop(member, None)
+        if idx is None:
+            raise QuorumError(f"{member} is not in this grid")
+        del self._members[idx]
+        self._refit(from_idx=idx)
+        return idx
+
+    def assert_equals_fresh(self) -> None:
+        """Prove this (possibly delta-applied) grid identical to a
+        from-scratch construction over the same member list.
+
+        Raises :class:`QuorumError` on any divergence — geometry, fill
+        positions, blank-space extras, or any member's rendezvous set.
+        """
+        fresh = GridQuorum(list(self._members))
+        if (self.n, self.rows, self.cols, self.last_row_fill) != (
+            fresh.n,
+            fresh.rows,
+            fresh.cols,
+            fresh.last_row_fill,
+        ):
+            raise QuorumError(
+                f"incremental grid geometry diverged: {self!r} vs {fresh!r}"
+            )
+        if self._index != fresh._index:
+            raise QuorumError("incremental grid fill positions diverged")
+        if self._extra != fresh._extra:
+            raise QuorumError("incremental grid blank-space extras diverged")
+        for m in self._members:
+            if self.servers(m) != fresh.servers(m):
+                raise QuorumError(
+                    f"incremental grid rendezvous set diverged for {m}"
+                )
 
     # ------------------------------------------------------------------
     # Basic geometry
@@ -117,12 +208,12 @@ class GridQuorum:
         return list(self._members)
 
     def __contains__(self, member: int) -> bool:
-        return member in self._pos
+        return member in self._index
 
     def position(self, member: int) -> Tuple[int, int]:
         """Grid coordinates ``(row, col)`` of ``member``."""
         try:
-            return self._pos[member]
+            return divmod(self._index[member], self.cols)
         except KeyError:
             raise QuorumError(f"{member} is not in this grid") from None
 
@@ -135,11 +226,13 @@ class GridQuorum:
 
     def row_of(self, member: int) -> List[int]:
         """All members in ``member``'s row (including itself)."""
-        return list(self._row_members[self.position(member)[0]])
+        row = self.position(member)[0]
+        return self._members[row * self.cols : min((row + 1) * self.cols, self.n)]
 
     def col_of(self, member: int) -> List[int]:
         """All members in ``member``'s column (including itself)."""
-        return list(self._col_members[self.position(member)[1]])
+        col = self.position(member)[1]
+        return self._members[col :: self.cols]
 
     # ------------------------------------------------------------------
     # Rendezvous sets
@@ -153,10 +246,8 @@ class GridQuorum:
         if cached is None:
             merged = set(self.row_of(member))
             merged.update(self.col_of(member))
-            merged.update(self._extra[member])
-            cached = tuple(
-                sorted(merged, key=lambda m: self._pos[m][0] * self.cols + self._pos[m][1])
-            )
+            merged.update(self._extra.get(member, _NO_EXTRA))
+            cached = tuple(sorted(merged, key=self._index.__getitem__))
             self._servers_cache[member] = cached
         if include_self:
             return cached

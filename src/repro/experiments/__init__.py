@@ -40,6 +40,12 @@ from repro.experiments.deployment import (
 )
 from repro.experiments.fig1_onehop_cdf import Fig1Result, run_fig1
 from repro.experiments.fig9_bandwidth_scaling import Fig9Result, run_fig9
+from repro.experiments.membership_scaling import (
+    MembershipRunStats,
+    MembershipScalingResult,
+    run_membership_mode,
+    run_membership_scaling,
+)
 from repro.experiments.multihop_scaling import (
     MultiHopRow,
     format_multihop_scaling,
@@ -75,6 +81,8 @@ __all__ = [
     "Fig1Result",
     "Fig9Result",
     "IntervalAblationRow",
+    "MembershipRunStats",
+    "MembershipScalingResult",
     "MultiHopRow",
     "QuorumAblationRow",
     "ScenarioResult",
@@ -91,6 +99,8 @@ __all__ = [
     "run_fig1",
     "run_fig9",
     "run_interval_ablation",
+    "run_membership_mode",
+    "run_membership_scaling",
     "run_multihop_scaling",
     "run_quorum_ablation",
     "run_scenario",

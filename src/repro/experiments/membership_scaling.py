@@ -1,0 +1,309 @@
+"""Membership scaling: view-change cost and convergence at n >= 1000.
+
+ROADMAP follow-up to the PR-1 churn workloads: the §5 membership service
+only needs nodes to *converge* on a consistent view, yet the full-view
+protocol ships the complete member list — O(n) bytes — to every
+subscriber on every single join/leave/expiry, an O(n^2) broadcast. This
+experiment drives the membership service alone (no routing/probing, so
+n = 2048 stays cheap) under identical PR-1 Poisson churn traces in three
+delivery modes and measures what each view change costs:
+
+* ``full``        — the legacy protocol: a full view per change;
+* ``delta``       — versioned :class:`~repro.overlay.membership.ViewDelta`
+  updates, full view only on version gaps (joins/reboots);
+* ``delta-batch`` — deltas plus a coalescing window
+  (``NOTIFY_BATCH_S``), so a burst of changes costs one version bump
+  and one broadcast.
+
+Convergence is checked literally: every live subscriber mirrors the
+updates it receives (applying deltas to its held view) and must end the
+run holding exactly the coordinator's final ``(version, members)``.
+
+All quantities are deterministic per seed — the table is regenerated
+byte-identically by the ``membership`` CLI subcommand and the
+``benchmarks/test_membership_scaling.py`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.tables import render_table
+from repro.errors import ConfigError
+from repro.net.simulator import Simulator
+from repro.overlay import wire
+from repro.overlay.membership import (
+    MembershipService,
+    MembershipView,
+    ViewDelta,
+    ViewUpdate,
+)
+from repro.workloads.trace import (
+    ACTION_FAIL,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ChurnEvent,
+    ChurnTrace,
+)
+
+__all__ = [
+    "MembershipRunStats",
+    "MembershipScalingResult",
+    "run_membership_mode",
+    "run_membership_scaling",
+]
+
+#: Delivery modes compared per overlay size.
+MODES: Tuple[str, ...] = ("full", "delta", "delta-batch")
+
+#: Coalescing window used by the ``delta-batch`` mode.
+NOTIFY_BATCH_S = 5.0
+
+#: Short refresh timeout so crashes expire within a run (the paper's 30
+#: minutes would outlive the whole trace).
+TIMEOUT_S = 240.0
+
+EXPIRY_CHECK_S = 30.0
+
+
+class _MirrorSubscriber:
+    """A subscriber that replays updates exactly as an overlay node would.
+
+    Holds the resulting view so convergence is checked literally, not
+    inferred from version counters.
+    """
+
+    __slots__ = ("view", "full_updates", "delta_updates")
+
+    def __init__(self) -> None:
+        self.view: Optional[MembershipView] = None
+        self.full_updates = 0
+        self.delta_updates = 0
+
+    def on_update(self, update: ViewUpdate) -> None:
+        if isinstance(update, ViewDelta):
+            assert self.view is not None, "delta before any full view"
+            self.view = update.apply(self.view)
+            self.delta_updates += 1
+        else:
+            self.view = update
+            self.full_updates += 1
+
+
+@dataclass
+class MembershipRunStats:
+    """Summary of one (n, delivery mode) membership run."""
+
+    n: int
+    mode: str
+    num_events: int
+    views_published: int
+    updates_sent: int
+    full_updates: int
+    delta_updates: int
+    total_bytes: int
+    gap_fallbacks: int
+    final_members: int
+    converged: bool
+
+    @property
+    def bytes_per_update(self) -> float:
+        return self.total_bytes / self.updates_sent if self.updates_sent else 0.0
+
+    @property
+    def bytes_per_view_change(self) -> float:
+        return (
+            self.total_bytes / self.views_published
+            if self.views_published
+            else 0.0
+        )
+
+    @property
+    def single_change_full_bytes(self) -> int:
+        """Wire cost of telling one subscriber about one change, full-view."""
+        return wire.membership_message_bytes(self.final_members)
+
+    @property
+    def single_change_delta_bytes(self) -> int:
+        """Wire cost of telling one subscriber about one change, delta."""
+        return wire.membership_delta_message_bytes(1, 0)
+
+    @property
+    def single_change_ratio(self) -> float:
+        """Delta/full byte ratio for a single-member view change."""
+        return self.single_change_delta_bytes / self.single_change_full_bytes
+
+
+def run_membership_mode(
+    trace: ChurnTrace,
+    mode: str,
+    settle_s: float = 90.0,
+) -> MembershipRunStats:
+    """Replay one churn trace against a fresh membership service.
+
+    Only the membership machinery runs (no overlay nodes): each member is
+    a :class:`_MirrorSubscriber`, crashes simply stop a node's heartbeat
+    (expiry does the rest), and a rejoin of a still-member crashed node
+    exercises the eviction (reboot) path exactly like the harness does.
+    """
+    if mode not in MODES:
+        raise ConfigError(f"unknown membership delivery mode {mode!r}")
+    sim = Simulator()
+    service = MembershipService(
+        sim,
+        timeout_s=TIMEOUT_S,
+        expiry_check_s=EXPIRY_CHECK_S,
+        deltas=mode != "full",
+        notify_batch_s=NOTIFY_BATCH_S if mode == "delta-batch" else 0.0,
+    )
+    subscribers: Dict[int, _MirrorSubscriber] = {
+        m: _MirrorSubscriber() for m in trace.initial_active
+    }
+    alive: Set[int] = set(trace.initial_active)
+
+    def apply(ev: ChurnEvent) -> None:
+        if ev.action == ACTION_JOIN:
+            if service.is_member(ev.node):
+                service.evict(ev.node)  # reboot of a not-yet-expired crash
+            subscribers[ev.node] = _MirrorSubscriber()  # fresh process
+            service.join(ev.node, subscribers[ev.node].on_update)
+            alive.add(ev.node)
+        elif ev.action == ACTION_LEAVE:
+            service.leave(ev.node)
+            alive.discard(ev.node)
+            subscribers.pop(ev.node, None)
+        else:
+            alive.discard(ev.node)  # crash: go silent, let refresh expire
+
+    for ev in trace.events:
+        sim.schedule_at(ev.time, apply, ev)
+
+    def heartbeat() -> None:
+        for m in sorted(alive):
+            if service.is_member(m):
+                service.refresh(m)
+
+    sim.periodic(TIMEOUT_S / 3.0, heartbeat, phase=TIMEOUT_S / 3.0)
+    service.bootstrap(
+        {m: subscribers[m].on_update for m in trace.initial_active}
+    )
+    sim.run_until(trace.duration_s + settle_s)
+    # Deterministic close: flush pending batches, stop expiry, drain the
+    # delayed notifications.
+    service.quiesce()
+    sim.run_until(sim.now + 1.0)
+
+    stats = service.stats
+    live_members = [m for m in service.view.members if m in alive]
+    converged = all(
+        subscribers[m].view == service.view for m in live_members
+    )
+    return MembershipRunStats(
+        n=trace.n,
+        mode=mode,
+        num_events=trace.num_events,
+        views_published=stats.get("views_published"),
+        updates_sent=stats.get("view_full_msgs") + stats.get("view_delta_msgs"),
+        full_updates=stats.get("view_full_msgs"),
+        delta_updates=stats.get("view_delta_msgs"),
+        total_bytes=stats.get("view_full_bytes") + stats.get("view_delta_bytes"),
+        gap_fallbacks=stats.get("view_gap_fallbacks"),
+        final_members=service.view.n,
+        converged=converged,
+    )
+
+
+@dataclass
+class MembershipScalingResult:
+    """All (n, mode) runs plus the trace parameters that produced them."""
+
+    sizes: Tuple[int, ...]
+    rate_per_s: float
+    duration_s: float
+    seed: int
+    rows: List[MembershipRunStats]
+
+    def stats_for(self, n: int, mode: str) -> MembershipRunStats:
+        for s in self.rows:
+            if s.n == n and s.mode == mode:
+                return s
+        raise KeyError(f"no run for n={n} mode={mode}")
+
+    def format_table(self) -> str:
+        rows = []
+        for s in self.rows:
+            rows.append(
+                [
+                    s.n,
+                    s.mode,
+                    s.num_events,
+                    s.views_published,
+                    s.updates_sent,
+                    f"{s.total_bytes / 1024.0:.1f}",
+                    f"{s.bytes_per_update:.1f}",
+                    f"{s.bytes_per_view_change / 1024.0:.2f}",
+                    (
+                        f"{100.0 * s.single_change_ratio:.1f}%"
+                        if s.mode != "full"
+                        else "-"
+                    ),
+                    s.gap_fallbacks if s.mode != "full" else "-",
+                    "yes" if s.converged else "NO",
+                ]
+            )
+        return render_table(
+            [
+                "n",
+                "mode",
+                "events",
+                "views",
+                "updates",
+                "KiB_total",
+                "B/update",
+                "KiB/view_change",
+                "1-change_ratio",
+                "gap_fallbacks",
+                "converged",
+            ],
+            rows,
+            title=(
+                "Membership scaling — view-change cost under identical "
+                f"Poisson churn (rate {self.rate_per_s:g}/s over "
+                f"{self.duration_s:g}s, seed {self.seed}); full views are "
+                "O(n) per update, deltas O(changes); 1-change_ratio = "
+                "delta/full bytes for a single-member change"
+            ),
+        )
+
+
+def run_membership_scaling(
+    sizes: Sequence[int] = (256, 1024, 2048),
+    rate_per_s: float = 0.2,
+    duration_s: float = 300.0,
+    seed: int = 42,
+) -> MembershipScalingResult:
+    """Compare all delivery modes at each overlay size.
+
+    Each size replays one identical churn trace through every mode, so
+    byte totals are directly comparable within a size.
+    """
+    rows: List[MembershipRunStats] = []
+    for n in sizes:
+        trace = ChurnTrace.poisson(
+            n=n,
+            rate_per_s=rate_per_s,
+            duration_s=duration_s,
+            seed=seed,
+            crash_fraction=0.5,
+            warmup_s=30.0,
+        )
+        for mode in MODES:
+            rows.append(run_membership_mode(trace, mode))
+    return MembershipScalingResult(
+        sizes=tuple(sizes),
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        seed=seed,
+        rows=rows,
+    )

@@ -47,18 +47,31 @@ class Event:
         skipped by the event loop.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim", "_in_queue")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
+        self._in_queue = False
 
     def cancel(self) -> None:
         """Prevent this event from firing. Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None and self._in_queue:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -130,12 +143,21 @@ class Simulator:
         Initial value of the virtual clock (seconds).
     """
 
+    #: Compaction triggers once the queue holds more than this many
+    #: cancelled entries *and* they outnumber the live ones. Under churn
+    #: (rapid-probe cancellations, stopped timers) dead entries would
+    #: otherwise linger until their firing time is reached — at n >= 1000
+    #: that is tens of thousands of heap slots of pure garbage.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._events_run = 0
         self._running = False
+        self._cancelled_in_queue = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -152,7 +174,17 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled_in_queue
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (pre-compaction)."""
+        return self._cancelled_in_queue
+
+    @property
+    def compactions(self) -> int:
+        """How many lazy heap compactions have run (for diagnostics)."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -169,9 +201,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
-        event = Event(time, next(self._seq), fn, args)
+        event = Event(time, next(self._seq), fn, args, sim=self)
+        event._in_queue = True
         heapq.heappush(self._queue, event)
         return event
+
+    # ------------------------------------------------------------------
+    # Cancelled-event bookkeeping / lazy compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for an event still in the heap."""
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue > self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self.compact()
+
+    def _note_popped(self, event: Event) -> None:
+        event._in_queue = False
+        if event.cancelled:
+            self._cancelled_in_queue -= 1
+
+    def compact(self) -> None:
+        """Drop all cancelled events from the heap and re-heapify.
+
+        Runs automatically when cancelled entries dominate the queue
+        (see :data:`COMPACT_MIN_CANCELLED`); safe to call any time —
+        event ordering (time, then insertion sequence) is unaffected.
+        """
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self._compactions += 1
 
     def periodic(
         self,
@@ -194,6 +256,7 @@ class Simulator:
         """Run the single next event. Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            self._note_popped(event)
             if event.cancelled:
                 continue
             self._now = event.time
@@ -231,11 +294,12 @@ class Simulator:
             while self._queue:
                 event = self._queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    self._note_popped(heapq.heappop(self._queue))
                     continue
                 if event.time > time:
                     break
                 heapq.heappop(self._queue)
+                self._note_popped(event)
                 self._now = event.time
                 self._events_run += 1
                 event.fn(*event.args)

@@ -4,13 +4,14 @@ from repro.overlay.adversarial import MaliciousQuorumRouter
 from repro.overlay.config import OverlayConfig, RouterKind
 from repro.overlay.harness import Overlay, build_overlay
 from repro.overlay.linkstate import LinkStateTable
-from repro.overlay.membership import MembershipService, MembershipView
+from repro.overlay.membership import MembershipService, MembershipView, ViewDelta
 from repro.overlay.monitor import LinkMonitor
 from repro.overlay.node import OverlayNode
 from repro.overlay.router_base import Route, RouterBase
 from repro.overlay.router_fullmesh import FullMeshRouter
 from repro.overlay.router_quorum import QuorumRouter
 from repro.overlay.stats import (
+    MEMBERSHIP_KINDS,
     ROUTING_KINDS,
     BandwidthRecorder,
     CounterSet,
@@ -25,8 +26,10 @@ __all__ = [
     "FullMeshRouter",
     "LinkMonitor",
     "LinkStateTable",
+    "MEMBERSHIP_KINDS",
     "MembershipService",
     "MembershipView",
+    "ViewDelta",
     "Overlay",
     "OverlayConfig",
     "OverlayNode",

@@ -58,6 +58,18 @@ class OverlayConfig:
     remote_timeout_intervals: float = 2.5
     #: Membership timeout (30 minutes, §5).
     membership_timeout_s: float = 1800.0
+    #: Incremental membership: deliver versioned view *deltas* (with a
+    #: full-view fallback on version gaps) instead of full member lists,
+    #: and let the quorum router update its grid/tables in place. Off by
+    #: default so the paper-parameter runs keep their exact schedules.
+    membership_deltas: bool = False
+    #: Batching window for membership publication: all view changes
+    #: inside the window coalesce into one version bump and one
+    #: (delta) broadcast. ``0`` publishes every change immediately.
+    membership_notify_batch_s: float = 0.0
+    #: Debug assertion path: after every incremental grid update, prove
+    #: the delta-applied grid identical to a from-scratch construction.
+    membership_grid_checks: bool = False
     #: Freshness sampling period used by the evaluation (§6.2.2: 30 s).
     freshness_sample_s: float = 30.0
     #: Bandwidth accounting bucket width (seconds).
@@ -100,6 +112,8 @@ class OverlayConfig:
         for name, value in positive.items():
             if value <= 0:
                 raise ConfigError(f"{name} must be positive, got {value}")
+        if self.membership_notify_batch_s < 0:
+            raise ConfigError("membership_notify_batch_s must be non-negative")
         if self.probes_to_fail < 1:
             raise ConfigError("probes_to_fail must be >= 1")
         if not 0.0 < self.ewma_alpha <= 1.0:

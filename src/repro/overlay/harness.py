@@ -25,6 +25,7 @@ from repro.overlay.membership import MembershipService, MembershipView
 from repro.overlay.node import OverlayNode
 from repro.overlay.router_quorum import QuorumRouter
 from repro.overlay.stats import (
+    MEMBERSHIP_KINDS,
     ROUTING_KINDS,
     BandwidthRecorder,
     DisruptionRecorder,
@@ -100,6 +101,11 @@ class Overlay:
         if node_id in self.active:
             raise ConfigError(f"node {node_id} is already active")
         node.prepare_join()
+        if self.membership.is_member(node.id):
+            # A crashed incarnation whose refresh has not yet expired:
+            # model a reboot by evicting the stale entry so the node can
+            # cleanly re-join within the same run.
+            self.membership.evict(node.id)
         self.membership.join(node.id, node.on_view)
         self.active.add(node_id)
         rng = self._lifecycle_rng
@@ -112,8 +118,13 @@ class Overlay:
                 self.config.routing_interval_s(self.router_kind),
             )
         )
-        # Start strictly after the membership push (notify delay) lands.
-        node.schedule_start(0.1, monitor_phase, router_phase)
+        # Start strictly after the membership push lands — which with a
+        # batching window may lag the join by up to the window itself.
+        node.schedule_start(
+            0.1 + self.config.membership_notify_batch_s,
+            monitor_phase,
+            router_phase,
+        )
 
     def leave_node(self, node_id: int) -> None:
         """Gracefully remove a node: it announces its departure, all
@@ -182,6 +193,17 @@ class Overlay:
     def probing_bps(self, t0: float, t1: float) -> np.ndarray:
         """Per-node probing traffic (in+out), bits/second."""
         return self.bandwidth.bps_per_node(("probe",), t0, t1)
+
+    def membership_bytes(self, t0: float = 0.0, t1: Optional[float] = None) -> np.ndarray:
+        """Per-node membership view-update bytes received over [t0, t1).
+
+        Membership delivery is out-of-band (simulator callbacks), but
+        each update's §5 wire size is accounted so view-change cost is
+        measurable — full views are O(n) per update, deltas O(changes).
+        """
+        return self.bandwidth.bytes_per_node(
+            MEMBERSHIP_KINDS, t0, t1, directions=("in",)
+        )
 
     def max_minute_routing_bps(self, t0: float, t1: float) -> np.ndarray:
         """Per-node max routing rate over any 1-minute window (Fig 10)."""
@@ -326,7 +348,13 @@ def build_overlay(
     transport = DatagramTransport(
         sim, topology, np.random.default_rng(rng.integers(2**63)), bandwidth
     )
-    membership = MembershipService(sim, timeout_s=config.membership_timeout_s)
+    membership = MembershipService(
+        sim,
+        timeout_s=config.membership_timeout_s,
+        deltas=config.membership_deltas,
+        notify_batch_s=config.membership_notify_batch_s,
+        bandwidth=bandwidth,
+    )
 
     malicious_set = set(malicious)
     if malicious_set and router is not RouterKind.QUORUM:

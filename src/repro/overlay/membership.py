@@ -10,20 +10,58 @@ failover mechanisms' job, not the membership service's.
 The coordinator here delivers view updates through simulator callbacks
 (out-of-band with respect to the overlay transport): membership traffic
 is not part of the §6 bandwidth evaluation, and keeping it off the
-transport keeps the accounting exactly comparable to the paper's.
+transport keeps the accounting exactly comparable to the paper's. What
+each update *would* occupy on the wire is still accounted (optionally
+into a :class:`~repro.overlay.stats.BandwidthRecorder` under the
+``member`` kind) so view-change cost is measurable.
+
+Incremental views (the delta protocol)
+--------------------------------------
+
+Convergence only requires that every node eventually hold the same
+``(version, members)`` pair — it never requires shipping the full member
+list on every change. With ``deltas=True`` the service therefore
+maintains, besides the authoritative view, a bounded **delta log** of the
+last ``delta_log_versions`` single-version transitions, and delivers each
+subscriber the smallest update that bridges its last-delivered version:
+
+* **Versioning** — every published view transition bumps ``version`` by
+  exactly one and appends ``ViewDelta(version - 1, version, joined,
+  left)`` to the log. The service remembers, per subscriber, the last
+  version it delivered, so consecutive deltas always chain
+  (``from_version`` equals the receiver's current version).
+* **Gap handling** — if a subscriber's version gap cannot be bridged
+  from the log (it fell more than ``delta_log_versions`` behind, or it
+  has never held a view, as on join/reboot), the service falls back to a
+  full :class:`MembershipView`; the ``view_gap_fallbacks`` counter
+  records how often.
+* **Batching window** — with ``notify_batch_s > 0`` changes are not
+  published one at a time: all joins/leaves/expiries inside the window
+  that opens at the first buffered change coalesce into **one** version
+  bump and one delta broadcast. Membership remains authoritative
+  immediately (``is_member``/``refresh`` see joins at once); only the
+  published view lags by at most the window. A member that joins and
+  leaves inside one window cancels out and is never published.
+
+Deltas are O(changes) on the wire where full views are O(n) — see
+:func:`repro.overlay.wire.membership_delta_message_bytes` — which is
+what makes view changes affordable at n >= 1000
+(``experiments/membership_scaling.py`` measures this).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple, Union
 
 from repro.errors import MembershipError
+from repro.net.packet import KIND_MEMBERSHIP
 from repro.net.simulator import Simulator
+from repro.overlay import wire
+from repro.overlay.stats import BandwidthRecorder, CounterSet
 
-__all__ = ["MembershipView", "MembershipService"]
-
-ViewCallback = Callable[["MembershipView"], None]
+__all__ = ["MembershipView", "ViewDelta", "ViewUpdate", "MembershipService"]
 
 
 @dataclass(frozen=True)
@@ -66,8 +104,109 @@ class MembershipView:
             return False
 
 
+@dataclass(frozen=True)
+class ViewDelta:
+    """An incremental view update: ``from_version`` plus changes gives
+    ``to_version``.
+
+    ``joined`` and ``left`` are disjoint sorted member tuples; applying
+    the delta to a view at exactly ``from_version`` yields the view at
+    ``to_version``. Deltas are O(changes) on the wire where full views
+    are O(n) — see :func:`repro.overlay.wire.membership_delta_message_bytes`.
+    """
+
+    from_version: int
+    to_version: int
+    joined: Tuple[int, ...]
+    left: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.to_version <= self.from_version:
+            raise MembershipError(
+                f"delta must move forward: v{self.from_version} -> "
+                f"v{self.to_version}"
+            )
+        for name, ids in (("joined", self.joined), ("left", self.left)):
+            if tuple(sorted(set(ids))) != ids:
+                raise MembershipError(f"delta {name} must be sorted and unique")
+        if set(self.joined) & set(self.left):
+            raise MembershipError("delta joined and left must be disjoint")
+
+    @property
+    def num_changes(self) -> int:
+        return len(self.joined) + len(self.left)
+
+    def apply(self, view: MembershipView) -> MembershipView:
+        """The view at ``to_version``, derived from ``view``.
+
+        ``view`` must be at exactly ``from_version`` (chained deltas are
+        pre-coalesced by the service); joins must be new, leaves present.
+        """
+        if view.version != self.from_version:
+            raise MembershipError(
+                f"delta from v{self.from_version} cannot apply to "
+                f"v{view.version}"
+            )
+        members = set(view.members)
+        for m in self.left:
+            if m not in members:
+                raise MembershipError(f"delta removes non-member {m}")
+            members.discard(m)
+        for m in self.joined:
+            if m in members:
+                raise MembershipError(f"delta adds existing member {m}")
+            members.add(m)
+        return MembershipView(
+            version=self.to_version, members=tuple(sorted(members))
+        )
+
+
+#: What the service delivers to subscribers: a full view or a delta.
+ViewUpdate = Union[MembershipView, ViewDelta]
+
+ViewCallback = Callable[[ViewUpdate], None]
+
+
+def _coalesce_into(
+    joined: set, left: set, new_joined: Tuple[int, ...], new_left: Tuple[int, ...]
+) -> None:
+    """Fold one transition's changes into running net-change sets.
+
+    A join cancels a pending leave of the same member (and vice versa),
+    so the running sets always describe the *net* difference from the
+    base view.
+    """
+    for m in new_joined:
+        if m in left:
+            left.discard(m)
+        else:
+            joined.add(m)
+    for m in new_left:
+        if m in joined:
+            joined.discard(m)
+        else:
+            left.add(m)
+
+
 class MembershipService:
-    """Coordinator tracking joins, leaves, and refresh timeouts."""
+    """Coordinator tracking joins, leaves, and refresh timeouts.
+
+    Parameters
+    ----------
+    deltas:
+        Deliver :class:`ViewDelta` updates (with full-view fallback)
+        instead of full views on every change. Off by default so the
+        paper-parameter experiments keep their exact event schedules.
+    notify_batch_s:
+        Coalescing window for view publication; ``0`` publishes every
+        change immediately (one version per change, the legacy cadence).
+    delta_log_versions:
+        How many single-version transitions the delta log retains; a
+        subscriber further behind than this receives a full view.
+    bandwidth:
+        Optional recorder; each delivered update's wire size is counted
+        against the receiving member under the ``member`` kind.
+    """
 
     def __init__(
         self,
@@ -75,23 +214,46 @@ class MembershipService:
         timeout_s: float = 1800.0,
         notify_delay_s: float = 0.05,
         expiry_check_s: float = 60.0,
+        deltas: bool = False,
+        notify_batch_s: float = 0.0,
+        delta_log_versions: int = 64,
+        bandwidth: Optional[BandwidthRecorder] = None,
     ):
-        if timeout_s <= 0 or notify_delay_s < 0:
+        if timeout_s <= 0 or notify_delay_s < 0 or notify_batch_s < 0:
             raise MembershipError("bad membership service timing parameters")
+        if delta_log_versions < 1:
+            raise MembershipError("delta_log_versions must be >= 1")
         self._sim = sim
         self._timeout_s = timeout_s
         self._notify_delay_s = notify_delay_s
+        self._deltas = deltas
+        self._notify_batch_s = notify_batch_s
+        self._bandwidth = bandwidth
         self._last_refresh: Dict[int, float] = {}
         self._subscribers: Dict[int, ViewCallback] = {}
         self._version = 0
         self._view = MembershipView(version=0, members=())
+        #: per-subscriber last delivered (scheduled) version; 0 = never
+        #: held a view, which always forces a full-view delivery.
+        self._delivered: Dict[int, int] = {}
+        self._log: Deque[ViewDelta] = deque(maxlen=delta_log_versions)
+        self._pending_joined: set = set()
+        self._pending_left: set = set()
+        self._flush_event = None
+        self.stats = CounterSet()
         self._expiry_timer = sim.periodic(
             expiry_check_s, self._expire_stale, phase=expiry_check_s
         )
 
     @property
     def view(self) -> MembershipView:
+        """The last *published* view (batched changes may be pending)."""
         return self._view
+
+    @property
+    def pending_changes(self) -> int:
+        """Changes buffered in the current batching window."""
+        return len(self._pending_joined) + len(self._pending_left)
 
     def is_member(self, member: int) -> bool:
         """Whether ``member`` is currently in the membership."""
@@ -112,8 +274,22 @@ class MembershipService:
         for member, callback in members_and_callbacks.items():
             self._last_refresh[member] = now
             self._subscribers[member] = callback
-        self._rebuild_view()
-        for callback in self._subscribers.values():
+        self._version += 1
+        self._view = MembershipView(
+            version=self._version, members=tuple(sorted(self._last_refresh))
+        )
+        # Iterate a snapshot: a callback may join/leave (mutating the
+        # subscriber dict) without breaking the loop. Members a callback
+        # removed are skipped; members a callback's change already
+        # notified (the synchronous flush advanced their delivered
+        # version) are not delivered the same view twice.
+        for member, callback in list(self._subscribers.items()):
+            if member not in self._subscribers:
+                continue
+            if self._delivered.get(member, 0) >= self._view.version:
+                continue
+            self._delivered[member] = self._view.version
+            self._account(member, self._view, now)
             callback(self._view)
         return self._view
 
@@ -123,8 +299,8 @@ class MembershipService:
             raise MembershipError(f"{member} is already a member")
         self._last_refresh[member] = self._sim.now
         self._subscribers[member] = callback
-        self._rebuild_view()
-        self._notify_all()
+        self._delivered[member] = 0  # force a full initial view
+        self._record_change(joined=(member,))
 
     def leave(self, member: int) -> None:
         """Remove a member; remaining members get the new view."""
@@ -132,8 +308,23 @@ class MembershipService:
             raise MembershipError(f"{member} is not a member")
         del self._last_refresh[member]
         del self._subscribers[member]
-        self._rebuild_view()
-        self._notify_all()
+        self._delivered.pop(member, None)
+        self._record_change(left=(member,))
+
+    def evict(self, member: int) -> None:
+        """Forcibly drop a member without waiting for refresh expiry.
+
+        Models a coordinator accepting a reboot report: the old (crashed)
+        incarnation is removed at once so the node can cleanly re-``join``
+        within the same run instead of raising "already a member".
+        """
+        if member not in self._last_refresh:
+            raise MembershipError(f"{member} is not a member")
+        del self._last_refresh[member]
+        del self._subscribers[member]
+        self._delivered.pop(member, None)
+        self.stats.incr("evictions")
+        self._record_change(left=(member,))
 
     def refresh(self, member: int) -> None:
         """Heartbeat: keep ``member`` from expiring."""
@@ -141,19 +332,113 @@ class MembershipService:
             raise MembershipError(f"{member} is not a member")
         self._last_refresh[member] = self._sim.now
 
+    def quiesce(self) -> None:
+        """Stop expiry checking and publish any batched changes now.
+
+        Experiment drivers call this to close a run deterministically:
+        after the (delayed) notifications drain, every subscriber holds
+        the final view regardless of where the expiry/batching timers
+        happened to be.
+        """
+        self._expiry_timer.stop()
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        self._flush()
+
     # ------------------------------------------------------------------
-    # Internals
+    # Publication: batching, delta log, notification
     # ------------------------------------------------------------------
-    def _rebuild_view(self) -> None:
-        self._version += 1
-        self._view = MembershipView(
-            version=self._version, members=tuple(sorted(self._last_refresh))
+    def _record_change(
+        self, joined: Tuple[int, ...] = (), left: Tuple[int, ...] = ()
+    ) -> None:
+        _coalesce_into(self._pending_joined, self._pending_left, joined, left)
+        if self._notify_batch_s <= 0:
+            self._flush()
+        elif self._flush_event is None:
+            self._flush_event = self._sim.schedule(self._notify_batch_s, self._flush)
+
+    def _flush(self) -> None:
+        """Publish all buffered changes as one view transition."""
+        self._flush_event = None
+        joined = tuple(sorted(self._pending_joined))
+        left = tuple(sorted(self._pending_left))
+        self._pending_joined.clear()
+        self._pending_left.clear()
+        if joined or left:
+            self._version += 1
+            self._view = MembershipView(
+                version=self._version, members=tuple(sorted(self._last_refresh))
+            )
+            self._log.append(
+                ViewDelta(
+                    from_version=self._version - 1,
+                    to_version=self._version,
+                    joined=joined,
+                    left=left,
+                )
+            )
+            self.stats.incr("views_published")
+        self._notify_all()
+
+    def _coalesce_since(self, from_version: int) -> Optional[ViewDelta]:
+        """One delta covering ``(from_version, current]``, or None if the
+        log no longer reaches back that far."""
+        if not self._log or self._log[0].to_version > from_version + 1:
+            return None
+        if from_version == self._version - 1:
+            # Steady state: every up-to-date subscriber needs exactly the
+            # last logged transition — no rescan, no rebuild.
+            return self._log[-1]
+        joined: set = set()
+        left: set = set()
+        for step in self._log:
+            if step.to_version <= from_version:
+                continue
+            _coalesce_into(joined, left, step.joined, step.left)
+        return ViewDelta(
+            from_version=from_version,
+            to_version=self._version,
+            joined=tuple(sorted(joined)),
+            left=tuple(sorted(left)),
         )
 
+    def _account(self, member: int, update: ViewUpdate, t: float) -> None:
+        """Count what ``update`` would occupy on the wire (§5 encoding)."""
+        if isinstance(update, ViewDelta):
+            nbytes = wire.membership_delta_message_bytes(
+                len(update.joined), len(update.left)
+            )
+            self.stats.incr("view_delta_msgs")
+            self.stats.incr("view_delta_bytes", nbytes)
+        else:
+            nbytes = wire.membership_message_bytes(update.n)
+            self.stats.incr("view_full_msgs")
+            self.stats.incr("view_full_bytes", nbytes)
+        if self._bandwidth is not None and 0 <= member < self._bandwidth.n:
+            self._bandwidth.record_in(member, KIND_MEMBERSHIP, nbytes, t)
+
     def _notify_all(self) -> None:
-        view = self._view
-        for callback in list(self._subscribers.values()):
-            self._sim.schedule(self._notify_delay_s, callback, view)
+        deliver_at = self._sim.now + self._notify_delay_s
+        # All subscribers at the same delivered version need the same
+        # coalesced delta; compute it once per distinct version.
+        coalesced: Dict[int, Optional[ViewDelta]] = {}
+        for member, callback in list(self._subscribers.items()):
+            delivered = self._delivered.get(member, 0)
+            if delivered >= self._version:
+                continue
+            update: Optional[ViewUpdate] = None
+            if self._deltas and delivered > 0:
+                if delivered not in coalesced:
+                    coalesced[delivered] = self._coalesce_since(delivered)
+                update = coalesced[delivered]
+                if update is None:
+                    self.stats.incr("view_gap_fallbacks")
+            if update is None:
+                update = self._view
+            self._delivered[member] = self._version
+            self._account(member, update, deliver_at)
+            self._sim.schedule(self._notify_delay_s, callback, update)
 
     def _expire_stale(self) -> None:
         now = self._sim.now
@@ -167,5 +452,6 @@ class MembershipService:
         for m in stale:
             del self._last_refresh[m]
             del self._subscribers[m]
-        self._rebuild_view()
-        self._notify_all()
+            self._delivered.pop(m, None)
+        self.stats.incr("expiries", len(stale))
+        self._record_change(left=tuple(sorted(stale)))

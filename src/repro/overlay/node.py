@@ -18,7 +18,7 @@ from repro.net.simulator import Simulator
 from repro.net.topology import Topology
 from repro.net.transport import DatagramTransport
 from repro.overlay.config import OverlayConfig, RouterKind
-from repro.overlay.membership import MembershipView
+from repro.overlay.membership import MembershipView, ViewDelta, ViewUpdate
 from repro.overlay.monitor import LinkMonitor
 from repro.overlay.router_base import Route, RouterBase
 from repro.overlay.router_fullmesh import FullMeshRouter
@@ -82,6 +82,9 @@ class OverlayNode:
         self.on_refresh: Optional[Callable[[], None]] = None
         self._refresh_timer = None
         self._pending_start = None
+        #: Deltas whose base version did not match the held view (should
+        #: not happen while subscribed; the next full view resyncs).
+        self.dropped_unappliable_deltas = 0
         transport.register(node_id, self.on_message)
 
     # ------------------------------------------------------------------
@@ -193,19 +196,33 @@ class OverlayNode:
             self.on_view(MembershipView(version=msg.version, members=msg.members))
         # Probes are handled by the vectorized monitor fast path.
 
-    def on_view(self, view: MembershipView) -> None:
-        """Membership callback: rebuild the router's grid and tables.
+    def on_view(self, update: ViewUpdate) -> None:
+        """Membership callback: install a full view or apply a delta.
 
         A view that no longer contains this node means it was removed
         (leave or expiry); the node stops participating. A torn-down
-        (crashed) node ignores pushes — it is off the network.
+        (crashed) node ignores pushes — it is off the network. Deltas
+        chain off the currently held view; the quorum router applies
+        them incrementally (grid resize + state remap) instead of
+        rebuilding from scratch.
         """
         if not self._registered:
             return
-        if self.id not in view:
+        if isinstance(update, ViewDelta):
+            current = self.router.view
+            if current is None or current.version != update.from_version:
+                self.dropped_unappliable_deltas += 1
+                return
+            view = update.apply(current)
+            if self.id not in view:
+                self.stop()
+                return
+            self.router.on_view_delta(view, update)
+            return
+        if self.id not in update:
             self.stop()
             return
-        self.router.on_view_change(view)
+        self.router.on_view_change(update)
 
     def _link_down(self, j: int) -> None:
         self.router.on_link_down(j)

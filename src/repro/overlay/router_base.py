@@ -13,7 +13,7 @@ from repro.net.packet import LinkStateMessage, RecommendationMessage
 from repro.net.simulator import Simulator
 from repro.net.transport import DatagramTransport
 from repro.overlay.config import OverlayConfig, RouterKind
-from repro.overlay.membership import MembershipView
+from repro.overlay.membership import MembershipView, ViewDelta
 from repro.overlay.monitor import LinkMonitor
 
 __all__ = ["Route", "RouterBase"]
@@ -109,6 +109,16 @@ class RouterBase(abc.ABC):
         # the monitor's topology-indexed measurement arrays.
         self._member_ids = np.fromiter(view.members, dtype=np.int64)
         self._rebuild_for_view(view)
+
+    def on_view_delta(self, view: MembershipView, delta: ViewDelta) -> None:
+        """Install a view derived from a :class:`ViewDelta`.
+
+        The base implementation falls back to a full rebuild; routers
+        that can update their per-view state incrementally (the quorum
+        router's grid and tables) override this.
+        """
+        del delta
+        self.on_view_change(view)
 
     # ------------------------------------------------------------------
     # View <-> underlay index projection helpers

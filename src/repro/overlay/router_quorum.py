@@ -30,7 +30,7 @@ from repro.core.grid import GridQuorum
 from repro.net.packet import LinkStateMessage, RecommendationMessage, RelayEnvelope
 from repro.overlay.config import RouterKind
 from repro.overlay.linkstate import LinkStateTable
-from repro.overlay.membership import MembershipView
+from repro.overlay.membership import MembershipView, ViewDelta
 from repro.overlay.router_base import (
     SOURCE_DIRECT,
     SOURCE_RECOMMENDATION,
@@ -86,6 +86,100 @@ class QuorumRouter(RouterBase):
         self.route_hop2 = np.full(n, -1, dtype=np.int64)
         self.route_time2 = np.full(n, -np.inf)
         self.route_server2 = np.full(n, -1, dtype=np.int64)
+        self._refresh_own_row()
+
+    def on_view_delta(self, view: MembershipView, delta: ViewDelta) -> None:
+        """Apply a membership delta without rebuilding from scratch.
+
+        The grid (over view indices ``0..n-1``) is resized incrementally
+        — a size change is a run of tail inserts/removes, which shift no
+        fill slots at all — and the link-state table and route arrays are
+        *remapped* from old view positions to new ones, so routing state
+        learned about surviving members is preserved across the view
+        change instead of being thrown away. Failover bookkeeping resets,
+        exactly as on a full rebuild (its expectations are per-epoch).
+        """
+        old_view = self.view
+        if old_view is None:
+            self.on_view_change(view)
+            return
+        old_n, n = old_view.n, view.n
+        # Old view position -> new view position; -1 for departed members.
+        new_index = {m: i for i, m in enumerate(view.members)}
+        old_to_new = np.fromiter(
+            (new_index.get(m, -1) for m in old_view.members),
+            dtype=np.int64,
+            count=old_n,
+        )
+        survivors_old = np.nonzero(old_to_new >= 0)[0]
+        survivors_new = old_to_new[survivors_old]
+
+        self.view = view
+        self.me_idx = view.index_of(self.me)
+        self._member_ids = np.fromiter(view.members, dtype=np.int64)
+
+        # Incremental grid resize: view-index grids always hold 0..n-1,
+        # so growing/shrinking is pure tail insertion/removal.
+        while self.grid.n > n:
+            self.grid.remove_member(self.grid.n - 1)
+        while self.grid.n < n:
+            self.grid.insert_member(self.grid.n)
+        if self.config.membership_grid_checks:
+            self.grid.assert_equals_fresh()
+
+        old_table = self.table
+        self.table = LinkStateTable(n)
+        if survivors_old.size:
+            keep_new = np.ix_(survivors_new, survivors_new)
+            keep_old = np.ix_(survivors_old, survivors_old)
+            self.table.latency_ms[keep_new] = old_table.latency_ms[keep_old]
+            self.table.alive[keep_new] = old_table.alive[keep_old]
+            self.table.loss[keep_new] = old_table.loss[keep_old]
+            self.table.row_time[survivors_new] = old_table.row_time[survivors_old]
+
+        def scatter(arr: np.ndarray, fill: float) -> np.ndarray:
+            out = np.full(n, fill, dtype=arr.dtype)
+            out[survivors_new] = arr[survivors_old]
+            return out
+
+        def remap_refs(arr: np.ndarray) -> np.ndarray:
+            # Entries are themselves old view indices; point them at the
+            # members' new positions (-1 when the referent departed).
+            out = arr.copy()
+            held = out >= 0
+            out[held] = old_to_new[out[held]]
+            return out
+
+        self.route_hop = remap_refs(scatter(self.route_hop, -1))
+        self.route_time = scatter(self.route_time, -np.inf)
+        self.route_sent_at = scatter(self.route_sent_at, -np.inf)
+        self.route_server = remap_refs(scatter(self.route_server, -1))
+        self.route_hop2 = remap_refs(scatter(self.route_hop2, -1))
+        self.route_time2 = scatter(self.route_time2, -np.inf)
+        self.route_server2 = remap_refs(scatter(self.route_server2, -1))
+        # A route whose one-hop departed is gone, not merely stale.
+        for hop, time_, sent in (
+            (self.route_hop, self.route_time, self.route_sent_at),
+            (self.route_hop2, self.route_time2, None),
+        ):
+            dead = hop < 0
+            time_[dead] = -np.inf
+            if sent is not None:
+                sent[dead] = -np.inf
+
+        self.failover = FailoverManager(
+            self.me_idx,
+            self._rng,
+            FailoverConfig(remote_timeout_s=self.config.remote_timeout_s()),
+        )
+        self.failover.set_grid(self.grid, self.sim.now)
+        self._extra_servers = set()
+        self._relay_servers = set()
+        self._reply_relay = {
+            int(old_to_new[c]): int(old_to_new[r])
+            for c, r in self._reply_relay.items()
+            if old_to_new[c] >= 0 and old_to_new[r] >= 0
+        }
         self._refresh_own_row()
 
     def _refresh_own_row(self) -> None:

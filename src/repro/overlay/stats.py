@@ -30,6 +30,7 @@ from repro.net.packet import (
 
 __all__ = [
     "ROUTING_KINDS",
+    "MEMBERSHIP_KINDS",
     "ALL_KINDS",
     "BandwidthRecorder",
     "DisruptionRecorder",
@@ -39,6 +40,11 @@ __all__ = [
 
 #: Message kinds that count as "routing traffic" in Figures 9 and 10.
 ROUTING_KINDS: Tuple[str, ...] = (KIND_LINKSTATE, KIND_RECOMMENDATION)
+
+#: Membership view-change traffic (full views and deltas). Kept out of
+#: ROUTING_KINDS so the §6 bandwidth figures stay exactly comparable to
+#: the paper's; the membership-scaling experiment queries it directly.
+MEMBERSHIP_KINDS: Tuple[str, ...] = (KIND_MEMBERSHIP,)
 
 ALL_KINDS: Tuple[str, ...] = (
     KIND_PROBE,

@@ -43,15 +43,20 @@ __all__ = [
     "TIMESTAMPED_REC_ENTRY_BYTES",
     "PROBE_BYTES",
     "NODE_ID_BYTES",
+    "VIEW_VERSION_BYTES",
+    "DELTA_COUNT_BYTES",
     "LATENCY_DEAD",
     "MAX_ENCODABLE_LATENCY_MS",
     "linkstate_message_bytes",
     "recommendation_message_bytes",
     "membership_message_bytes",
+    "membership_delta_message_bytes",
     "encode_linkstate",
     "decode_linkstate",
     "encode_recommendations",
     "decode_recommendations",
+    "encode_view_delta",
+    "decode_view_delta",
 ]
 
 #: Per-message overhead (UDP/IP + application header), calibrated to the
@@ -83,6 +88,13 @@ PROBE_BYTES = HEADER_BYTES
 #: Node IDs are 2-byte integers (§5).
 NODE_ID_BYTES = 2
 
+#: Membership view versions are 4-byte integers (they grow without
+#: bound under churn, unlike node IDs).
+VIEW_VERSION_BYTES = 4
+
+#: A membership delta carries 2-byte joined/left counts.
+DELTA_COUNT_BYTES = 2
+
 #: Wire sentinel for a dead/unreachable destination.
 LATENCY_DEAD = 0xFFFF
 
@@ -106,6 +118,21 @@ def recommendation_message_bytes(entries: int, multihop: bool = False) -> int:
 def membership_message_bytes(members: int) -> int:
     """Wire size of a membership view message listing ``members`` IDs."""
     return HEADER_BYTES + NODE_ID_BYTES * members
+
+def membership_delta_message_bytes(joined: int, left: int) -> int:
+    """Wire size of a membership *delta* message.
+
+    Header, the ``from``/``to`` view versions, two change counts, and one
+    node ID per changed member — O(changes), independent of overlay size
+    (a full view is O(n); this is what makes incremental membership
+    affordable at n >= 1000).
+    """
+    return (
+        HEADER_BYTES
+        + 2 * VIEW_VERSION_BYTES
+        + 2 * DELTA_COUNT_BYTES
+        + NODE_ID_BYTES * (joined + left)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -190,3 +217,60 @@ def decode_recommendations(data: bytes) -> List[Tuple[int, int]]:
         struct.unpack_from(">HH", data, k)
         for k in range(0, len(data), RECOMMENDATION_ENTRY_BYTES)
     ]
+
+
+# ----------------------------------------------------------------------
+# Membership delta codec
+# ----------------------------------------------------------------------
+def encode_view_delta(
+    from_version: int,
+    to_version: int,
+    joined: Sequence[int],
+    left: Sequence[int],
+) -> bytes:
+    """Encode one membership delta into its compact wire form.
+
+    Layout: ``from_version`` and ``to_version`` (4 B each), joined and
+    left counts (2 B each), then the joined IDs followed by the left IDs
+    (2 B each) — :func:`membership_delta_message_bytes` minus the header.
+    """
+    if not (0 <= from_version <= 0xFFFFFFFF and 0 <= to_version <= 0xFFFFFFFF):
+        raise WireFormatError(
+            f"view versions must fit in 32 bits: ({from_version}, {to_version})"
+        )
+    if len(joined) > 0xFFFF or len(left) > 0xFFFF:
+        raise WireFormatError("delta change counts must fit in 16 bits")
+    out = bytearray(
+        struct.pack(">IIHH", from_version, to_version, len(joined), len(left))
+    )
+    for member in list(joined) + list(left):
+        if not 0 <= member <= 0xFFFF:
+            raise WireFormatError(f"node IDs must fit in 16 bits: {member}")
+        out += struct.pack(">H", member)
+    return bytes(out)
+
+
+def decode_view_delta(data: bytes) -> Tuple[int, int, Tuple[int, ...], Tuple[int, ...]]:
+    """Inverse of :func:`encode_view_delta`.
+
+    Returns ``(from_version, to_version, joined, left)``.
+    """
+    fixed = 2 * VIEW_VERSION_BYTES + 2 * DELTA_COUNT_BYTES
+    if len(data) < fixed:
+        raise WireFormatError(f"delta payload too short: {len(data)} bytes")
+    from_version, to_version, n_joined, n_left = struct.unpack_from(">IIHH", data, 0)
+    expected = fixed + NODE_ID_BYTES * (n_joined + n_left)
+    if len(data) != expected:
+        raise WireFormatError(
+            f"delta payload is {len(data)} bytes, expected {expected}"
+        )
+    ids = [
+        struct.unpack_from(">H", data, fixed + NODE_ID_BYTES * k)[0]
+        for k in range(n_joined + n_left)
+    ]
+    return (
+        from_version,
+        to_version,
+        tuple(ids[:n_joined]),
+        tuple(ids[n_joined:]),
+    )

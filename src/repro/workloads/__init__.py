@@ -35,8 +35,10 @@ Semantics worth knowing
 * A **fail** (crash) is silent: peers must detect it by probing, and the
   membership service only learns via refresh expiry — exactly the §5
   division of labor between failover and membership.
-* Crashed nodes stay dead for the rest of a trace (they are still
-  members until their refresh times out, so they cannot rejoin).
+* Crashed nodes may **reboot**: a later join of the same ID is valid.
+  If the crashed entry has not yet refresh-expired, the membership
+  service evicts it so the re-join is clean (``evict``); after expiry
+  the node simply joins again.
 * Disruption is judged against **ground truth**: a pair counts as
   disrupted while the source's chosen route does not actually work on
   the current underlay (e.g. it still points through a crashed node).

@@ -19,9 +19,15 @@ literature evaluates:
 * :meth:`ChurnTrace.flash_crowd` — a burst of joins inside a few
   seconds, the "everyone shows up at once" membership transient.
 
-Feasibility (joins only from standby, departures only of active nodes,
-never fewer than ``min_active`` members) is validated on construction by
-replaying the events symbolically.
+* :meth:`ChurnTrace.crash_reboot` — crash a set of nodes, then have the
+  same nodes rejoin later in the same trace (a reboot): the membership
+  service evicts the stale crashed entry (or has already expired it) so
+  the re-``join`` is clean.
+
+Feasibility (joins only of standby *or* previously crashed nodes,
+departures only of active nodes, never fewer than ``min_active``
+members) is validated on construction by replaying the events
+symbolically.
 """
 
 from __future__ import annotations
@@ -100,6 +106,7 @@ class ChurnTrace:
         last_t = 0.0
         active: Set[int] = set(self.initial_active)
         standby: Set[int] = ids - active
+        crashed: Set[int] = set()
         for ev in self.events:
             if ev.time < last_t:
                 raise WorkloadError("events must be sorted by time")
@@ -111,11 +118,16 @@ class ChurnTrace:
             if ev.node not in ids:
                 raise WorkloadError(f"event node {ev.node} outside underlay")
             if ev.action == ACTION_JOIN:
-                if ev.node not in standby:
+                if ev.node not in standby and ev.node not in crashed:
                     raise WorkloadError(
-                        f"join of node {ev.node} which is not in standby"
+                        f"join of node {ev.node} which is neither standby "
+                        "nor crashed"
                     )
                 standby.discard(ev.node)
+                # A crashed node rejoining models a reboot; the harness
+                # evicts its stale membership entry if refresh expiry
+                # has not already removed it.
+                crashed.discard(ev.node)
                 active.add(ev.node)
             else:
                 if ev.node not in active:
@@ -125,9 +137,8 @@ class ChurnTrace:
                 active.discard(ev.node)
                 if ev.action == ACTION_LEAVE:
                     standby.add(ev.node)
-                # Crashed nodes are dead for the rest of the trace: the
-                # membership service still counts them until expiry, so
-                # they cannot rejoin within a run.
+                else:
+                    crashed.add(ev.node)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -250,6 +261,47 @@ class ChurnTrace:
         failed = sorted(rng.choice(n, size=k, replace=False).tolist())
         events = tuple(
             ChurnEvent(time=at_s, action=ACTION_FAIL, node=node) for node in failed
+        )
+        return ChurnTrace(
+            n=n,
+            initial_active=tuple(range(n)),
+            events=events,
+            duration_s=duration_s,
+        )
+
+    @staticmethod
+    def crash_reboot(
+        n: int,
+        fraction: float,
+        crash_at_s: float,
+        reboot_at_s: float,
+        duration_s: float,
+        seed: int,
+    ) -> "ChurnTrace":
+        """Crash ``fraction`` of the overlay, then reboot the same nodes.
+
+        The crashed nodes rejoin at ``reboot_at_s`` — within the same
+        trace — exercising the membership service's reboot path: a
+        crashed entry that has not yet refresh-expired is evicted so the
+        re-join is clean.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise WorkloadError("fraction must be in (0, 1)")
+        if not 0.0 <= crash_at_s < reboot_at_s < duration_s:
+            raise WorkloadError("need crash_at_s < reboot_at_s < duration_s")
+        rng = np.random.default_rng(seed)
+        k = int(round(fraction * n))
+        if k < 1:
+            raise WorkloadError(f"fraction {fraction} crashes no nodes at n={n}")
+        if n - k < 4:
+            raise WorkloadError("crash would leave fewer than 4 nodes")
+        failed = sorted(rng.choice(n, size=k, replace=False).tolist())
+        events = tuple(
+            ChurnEvent(time=crash_at_s, action=ACTION_FAIL, node=node)
+            for node in failed
+        ) + tuple(
+            ChurnEvent(time=reboot_at_s, action=ACTION_JOIN, node=node)
+            for node in failed
         )
         return ChurnTrace(
             n=n,

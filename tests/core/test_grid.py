@@ -188,3 +188,81 @@ class TestInvariants:
         grid = GridQuorum(ids)
         grid.verify()
         assert set(grid.members) == set(ids)
+
+
+class TestIncrementalUpdates:
+    """Delta-applied grids must equal from-scratch constructions."""
+
+    def test_tail_insert_matches_fresh(self):
+        grid = GridQuorum(list(range(9)))
+        idx = grid.insert_member(9)
+        assert idx == 9
+        grid.assert_equals_fresh()
+        assert grid.n == 10 and (grid.rows, grid.cols) == (4, 3)
+
+    def test_mid_insert_matches_fresh(self):
+        grid = GridQuorum([1, 3, 5, 7, 9, 11, 13, 15, 17])
+        idx = grid.insert_member(8)
+        assert idx == 4
+        grid.assert_equals_fresh()
+        assert grid.position(8) == (1, 1)
+
+    def test_remove_matches_fresh(self):
+        grid = GridQuorum(list(range(12)))
+        idx = grid.remove_member(5)
+        assert idx == 5
+        grid.assert_equals_fresh()
+        assert 5 not in grid
+        assert grid.n == 11
+
+    def test_insert_duplicate_rejected(self):
+        grid = GridQuorum([1, 2, 3])
+        with pytest.raises(QuorumError):
+            grid.insert_member(2)
+
+    def test_remove_unknown_rejected(self):
+        grid = GridQuorum([1, 2, 3])
+        with pytest.raises(QuorumError):
+            grid.remove_member(9)
+
+    def test_remove_last_member_rejected(self):
+        grid = GridQuorum([4])
+        with pytest.raises(QuorumError):
+            grid.remove_member(4)
+
+    def test_unsorted_fill_rejects_incremental_insert(self):
+        grid = GridQuorum([5, 1, 9])
+        with pytest.raises(QuorumError):
+            grid.insert_member(3)
+
+    def test_grow_and_shrink_across_dimension_changes(self):
+        # 1 -> 40 -> 1 crosses many (rows, cols) transitions; every
+        # intermediate grid must be exactly the canonical construction.
+        grid = GridQuorum([0])
+        for m in range(1, 40):
+            grid.insert_member(m)
+            grid.assert_equals_fresh()
+            grid.verify()
+        for m in range(39, 0, -1):
+            grid.remove_member(m)
+            grid.assert_equals_fresh()
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_churn_equals_fresh(self, seed):
+        import random as _random
+
+        rng = _random.Random(seed)
+        members = sorted(rng.sample(range(200), rng.randint(1, 30)))
+        grid = GridQuorum(list(members))
+        pool = set(range(200)) - set(members)
+        for _ in range(25):
+            if grid.n > 1 and (not pool or rng.random() < 0.5):
+                m = rng.choice(grid.members)
+                grid.remove_member(m)
+                pool.add(m)
+            else:
+                m = rng.choice(sorted(pool))
+                pool.discard(m)
+                grid.insert_member(m)
+            grid.assert_equals_fresh()

@@ -315,3 +315,67 @@ class TestDeterminism:
             return trace
 
         assert run_once() == run_once()
+
+
+class TestLazyCompaction:
+    """Regression: cancelled events must not accumulate in the heap.
+
+    Under churn at n >= 1000, ``PeriodicTimer.stop()`` and rapid-probe
+    cancellation leave dead entries behind; without compaction they
+    linger until their (possibly far-future) firing time is popped.
+    """
+
+    def test_repeated_timer_start_stop_keeps_heap_bounded(self):
+        sim = Simulator()
+        for _ in range(5000):
+            timer = sim.periodic(3600.0, lambda: None, phase=3600.0)
+            timer.stop()
+        # Far fewer than the 5000 dead entries survive in the heap.
+        assert len(sim._queue) <= 2 * Simulator.COMPACT_MIN_CANCELLED
+        assert sim.pending() == 0
+        assert sim.compactions > 0
+
+    def test_mass_event_cancellation_compacts(self):
+        sim = Simulator()
+        events = [sim.schedule(1000.0 + i, lambda: None) for i in range(2000)]
+        keep = sim.schedule(0.5, lambda: None)
+        for e in events:
+            e.cancel()
+        assert sim.pending() == 1
+        assert len(sim._queue) <= 2 * Simulator.COMPACT_MIN_CANCELLED
+        assert not keep.cancelled
+
+    def test_compaction_preserves_order_and_fires_survivors(self):
+        sim = Simulator()
+        seen = []
+        for i in range(300):
+            e = sim.schedule(float(i + 1), seen.append, i)
+            if i % 3:
+                e.cancel()
+        sim.compact()
+        sim.run()
+        assert seen == [i for i in range(300) if i % 3 == 0]
+
+    def test_small_cancel_counts_do_not_compact(self):
+        sim = Simulator()
+        events = [sim.schedule(10.0 + i, lambda: None) for i in range(10)]
+        for e in events:
+            e.cancel()
+        assert sim.compactions == 0
+        assert sim.pending() == 0
+
+    def test_pending_is_exact_after_pops_and_cancels(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        e2 = sim.schedule(2.0, lambda: None)
+        e3 = sim.schedule(3.0, lambda: None)
+        e2.cancel()
+        assert sim.pending() == 2
+        sim.run_until(1.5)
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+        # Cancelling an already-fired event must not corrupt the count.
+        e1.cancel()
+        e3.cancel()
+        assert sim.pending() == 0

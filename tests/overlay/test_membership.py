@@ -96,6 +96,63 @@ class TestMembershipService:
         with pytest.raises(MembershipError):
             svc.refresh(42)
 
+    def test_bootstrap_callback_may_mutate_membership(self):
+        # Regression: bootstrap used to iterate the live subscriber dict
+        # while invoking callbacks synchronously, so a callback that
+        # joined or left mutated the dict mid-iteration and raised
+        # RuntimeError.
+        sim = Simulator()
+        svc = MembershipService(sim)
+        got = {}
+
+        def make(i):
+            def cb(update):
+                got[i] = update
+
+            return cb
+
+        def joining_callback(update):
+            got[1] = update
+            if not svc.is_member(99):
+                svc.join(99, make(99))
+
+        svc.bootstrap({1: joining_callback, 2: make(2), 3: make(3)})
+        sim.run_until(1.0)
+        assert svc.is_member(99)
+        assert svc.view.members == (1, 2, 3, 99)
+        # Everyone (including the mid-bootstrap joiner) converged.
+        assert set(got) == {1, 2, 3, 99}
+        # No double delivery: member 1 got v1 + v2, the rest v2 only.
+        assert svc.stats.get("view_full_msgs") == 5
+
+    def test_bootstrap_callback_may_leave(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+
+        def leaving_callback(update):
+            if svc.is_member(2):
+                svc.leave(2)
+
+        svc.bootstrap({1: leaving_callback, 2: lambda v: None, 3: lambda v: None})
+        sim.run_until(1.0)
+        assert svc.view.members == (1, 3)
+
+    def test_evict_drops_member_immediately(self):
+        sim = Simulator()
+        svc = MembershipService(sim)
+        views = []
+        svc.bootstrap({1: views.append, 2: lambda v: None})
+        svc.evict(2)
+        sim.run_until(1.0)
+        assert not svc.is_member(2)
+        assert views[-1].members == (1,)
+        assert svc.stats.get("evictions") == 1
+        with pytest.raises(MembershipError):
+            svc.evict(2)
+        # The evicted node can cleanly re-join (the reboot path).
+        svc.join(2, lambda v: None)
+        assert svc.view.members == (1, 2)
+
     def test_view_versions_increase(self):
         sim = Simulator()
         svc = MembershipService(sim)

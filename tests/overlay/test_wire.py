@@ -144,3 +144,54 @@ class TestRecommendationCodec:
     def test_round_trip_property(self, entries):
         data = wire.encode_recommendations(entries)
         assert wire.decode_recommendations(data) == entries
+
+
+class TestMembershipDeltaWire:
+    def test_delta_message_is_o_changes_not_o_n(self):
+        # header + 2x4B versions + 2x2B counts + 2B per changed member.
+        assert wire.membership_delta_message_bytes(1, 0) == 46 + 8 + 4 + 2
+        assert wire.membership_delta_message_bytes(3, 2) == 46 + 8 + 4 + 10
+        # Single change at n=1024: far below 10% of the full view.
+        full = wire.membership_message_bytes(1024)
+        delta = wire.membership_delta_message_bytes(1, 0)
+        assert delta <= 0.10 * full
+
+    def test_round_trip(self):
+        data = wire.encode_view_delta(41, 43, (3, 9), (7,))
+        fixed = 2 * wire.VIEW_VERSION_BYTES + 2 * wire.DELTA_COUNT_BYTES
+        assert len(data) == fixed + 3 * wire.NODE_ID_BYTES
+        assert wire.decode_view_delta(data) == (41, 43, (3, 9), (7,))
+
+    def test_empty_delta_round_trip(self):
+        data = wire.encode_view_delta(5, 6, (), ())
+        assert wire.decode_view_delta(data) == (5, 6, (), ())
+
+    def test_version_overflow_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_view_delta(2**32, 2**32 + 1, (), ())
+
+    def test_member_overflow_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_view_delta(1, 2, (70000,), ())
+
+    def test_truncated_payload_rejected(self):
+        data = wire.encode_view_delta(1, 2, (3,), (4,))
+        with pytest.raises(WireFormatError):
+            wire.decode_view_delta(data[:-1])
+        with pytest.raises(WireFormatError):
+            wire.decode_view_delta(b"\x00\x01")
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.lists(st.integers(0, 65535), max_size=40),
+        st.lists(st.integers(0, 65535), max_size=40),
+    )
+    def test_round_trip_property(self, v_from, v_to, joined, left):
+        data = wire.encode_view_delta(v_from, v_to, joined, left)
+        assert wire.decode_view_delta(data) == (
+            v_from,
+            v_to,
+            tuple(joined),
+            tuple(left),
+        )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError, MembershipError, WorkloadError
+from repro.errors import ConfigError, WorkloadError
 from repro.net.trace import uniform_random_metric
 from repro.overlay.config import OverlayConfig, RouterKind
 from repro.overlay.harness import build_overlay
@@ -83,14 +83,14 @@ class TestChurnTrace:
                 events=(ChurnEvent(1.0, ACTION_LEAVE, 3),),
                 duration_s=10.0,
             )
-        # A crashed node cannot rejoin within a trace.
+        # A node that never existed in any pool cannot join twice.
         with pytest.raises(WorkloadError):
             ChurnTrace(
-                n=4,
+                n=5,
                 initial_active=(0, 1, 2, 3),
                 events=(
-                    ChurnEvent(1.0, ACTION_FAIL, 0),
-                    ChurnEvent(2.0, ACTION_JOIN, 0),
+                    ChurnEvent(1.0, ACTION_JOIN, 4),
+                    ChurnEvent(2.0, ACTION_JOIN, 4),
                 ),
                 duration_s=10.0,
             )
@@ -113,6 +113,32 @@ class TestChurnTrace:
                 events=(ChurnEvent(10.0, ACTION_JOIN, 3),),
                 duration_s=10.0,
             )
+
+    def test_crash_then_rejoin_is_feasible(self):
+        # Reboots are modeled: a crashed node may rejoin later in the
+        # same trace.
+        trace = ChurnTrace(
+            n=4,
+            initial_active=(0, 1, 2, 3),
+            events=(
+                ChurnEvent(1.0, ACTION_FAIL, 0),
+                ChurnEvent(50.0, ACTION_JOIN, 0),
+            ),
+            duration_s=100.0,
+        )
+        assert trace.active_at_end() == (0, 1, 2, 3)
+
+    def test_crash_reboot_generator(self):
+        trace = ChurnTrace.crash_reboot(
+            n=16, fraction=0.25, crash_at_s=60.0, reboot_at_s=180.0,
+            duration_s=300.0, seed=3,
+        )
+        assert trace.count(ACTION_FAIL) == 4
+        assert trace.count(ACTION_JOIN) == 4
+        assert {ev.node for ev in trace.events if ev.action == ACTION_FAIL} == {
+            ev.node for ev in trace.events if ev.action == ACTION_JOIN
+        }
+        assert len(trace.active_at_end()) == 16
 
     def test_leave_then_rejoin_is_feasible(self):
         trace = ChurnTrace(
@@ -198,13 +224,21 @@ class TestLifecycle:
         with pytest.raises(ConfigError):
             overlay.join_node(3)
 
-    def test_crashed_node_cannot_rejoin_before_expiry(self):
+    def test_crashed_node_rejoin_before_expiry_is_a_reboot(self):
+        # The stale (crashed) membership entry is evicted so the node
+        # can cleanly re-join within one run, modeling a reboot.
         overlay = build(9)
         overlay.run(50.0)
         overlay.fail_node(2)
         overlay.run(10.0)
-        with pytest.raises(MembershipError):
-            overlay.join_node(2)
+        assert overlay.membership.is_member(2)  # refresh not yet expired
+        overlay.join_node(2)
+        overlay.run(30.0)
+        assert 2 in overlay.active
+        assert overlay.membership.is_member(2)
+        assert overlay.membership.stats.get("evictions") == 1
+        assert overlay.nodes[2].started
+        assert 2 in overlay.nodes[0].router.view
 
     def test_crashed_node_expires_from_membership(self):
         config = OverlayConfig(membership_timeout_s=120.0)
