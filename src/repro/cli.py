@@ -12,8 +12,10 @@ Usage (also via ``python -m repro``)::
     repro-experiments sosr                     # §2 random-intermediary study
     repro-experiments churn --nodes 64 --rate 0.05   # dynamic membership
                                                # (writes results/ unless --out)
+    repro-experiments churn --in-band          # lossy in-band membership
     repro-experiments membership               # view-delta scaling sweep
     repro-experiments membership --smoke       # fast n=256-only CI path
+    repro-experiments membership --in-band     # updates on the lossy wire
     repro-experiments all                      # everything above
 
 Each command prints the same rows/series the paper's corresponding
@@ -154,6 +156,7 @@ def _cmd_churn(args: argparse.Namespace) -> None:
     from repro.experiments.churn import (
         run_churn_comparison,
         run_flash_crowd,
+        run_in_band_churn,
         run_mass_failure_sweep,
         run_rate_sweep,
     )
@@ -162,6 +165,18 @@ def _cmd_churn(args: argparse.Namespace) -> None:
     # The churn workload writes its disruption/recovery tables under
     # results/ by default (they are the experiment's deliverable).
     out = args.out if args.out is not None else pathlib.Path("results")
+    if args.in_band:
+        # The lossy in-band membership comparison is its own variant run.
+        result = run_in_band_churn(
+            n=n, rate_per_s=args.rate, duration_s=args.duration, seed=args.seed
+        )
+        _write(out, "table_churn_in_band", result.format_table())
+        for mode, _, divergence, _ in result.rows:
+            if divergence["open"]:
+                raise SystemExit(
+                    f"churn run ({mode}) left a view-divergence window open"
+                )
+        return
     comparison = run_churn_comparison(
         n=n, rate_per_s=args.rate, duration_s=args.duration, seed=args.seed
     )
@@ -178,17 +193,42 @@ def _cmd_churn(args: argparse.Namespace) -> None:
 
 
 def _cmd_membership(args: argparse.Namespace) -> None:
-    from repro.experiments.membership_scaling import run_membership_scaling
+    from repro.experiments.membership_scaling import (
+        run_in_band_scaling,
+        run_membership_scaling,
+    )
 
+    # Like churn, the scaling tables are the deliverable: write them
+    # under results/ unless the caller redirects them.
+    out = args.out if args.out is not None else pathlib.Path("results")
+    if args.in_band:
+        if args.smoke:
+            sizes = (256,)
+        elif args.n is not None:
+            sizes = (args.n,)
+        else:
+            sizes = (256, 1024)
+        result = run_in_band_scaling(
+            sizes=sizes, duration_s=args.duration, seed=args.seed
+        )
+        name = (
+            "table_membership_in_band"
+            if not args.smoke and args.n is None
+            else "table_membership_in_band_smoke"
+        )
+        _write(out, name, result.format_table())
+        for stats in result.rows:
+            if not stats.converged or stats.div_open:
+                raise SystemExit(
+                    f"in-band membership run n={stats.n} did not reconverge"
+                )
+        return
     if args.smoke:
         sizes = (256,)
     elif args.n is not None:
         sizes = (args.n,)
     else:
         sizes = (256, 1024, 2048)
-    # Like churn, the scaling table is the deliverable: write it under
-    # results/ unless the caller redirects it.
-    out = args.out if args.out is not None else pathlib.Path("results")
     result = run_membership_scaling(
         sizes=sizes, duration_s=args.duration, seed=args.seed
     )
@@ -266,6 +306,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="membership: fast CI path (n=256 only, separate output file)",
+    )
+    parser.add_argument(
+        "--in-band",
+        dest="in_band",
+        action="store_true",
+        help="membership/churn: run the lossy in-band delivery variant "
+        "(view updates as real wire messages with piggyback repair)",
     )
     parser.add_argument(
         "--duration",

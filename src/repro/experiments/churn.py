@@ -11,6 +11,13 @@ These experiments drive the §5 membership machinery hard, replaying
   among survivors.
 * **Flash crowd** — a burst of simultaneous joins; reports how long the
   newcomers take to become fully routable.
+* **Lossy in-band membership** — the same Poisson churn on a lossy
+  underlay, once with out-of-band (reliable callback) membership and
+  once with ``membership_in_band=True``: view updates travel the wire,
+  get lost, and are repaired via refresh piggybacks. Reports routing
+  availability side by side with the new view-divergence metric
+  (windows where live nodes held different view versions, and the
+  routing disagreement inside them).
 
 "Disrupted" is judged against ground truth: a pair counts as disrupted
 while the source's *chosen* route does not actually work on the current
@@ -27,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.tables import render_table
+from repro.experiments.membership_scaling import IN_BAND_LOSS
 from repro.net.trace import planetlab_like
 from repro.overlay.config import OverlayConfig, RouterKind
 from repro.overlay.harness import Overlay, build_overlay
@@ -36,11 +44,13 @@ __all__ = [
     "ChurnRunStats",
     "ChurnComparisonResult",
     "FlashCrowdResult",
+    "InBandChurnResult",
     "MassFailureResult",
     "RateSweepResult",
     "run_churn_run",
     "run_churn_comparison",
     "run_flash_crowd",
+    "run_in_band_churn",
     "run_mass_failure_sweep",
     "run_rate_sweep",
 ]
@@ -435,3 +445,137 @@ def run_flash_crowd(
         workload.run(settle_s=settle_s)
         rows.append(_stats_from_workload(workload, measure_from_s=at_s))
     return FlashCrowdResult(n=n, count=count, at_s=at_s, rows=rows)
+
+
+# ----------------------------------------------------------------------
+# Experiment 5: lossy in-band membership vs the out-of-band shortcut
+# ----------------------------------------------------------------------
+@dataclass
+class InBandChurnResult:
+    """Identical lossy churn, membership out-of-band vs on the wire.
+
+    Each row carries the usual churn summary plus the view-divergence
+    summary and the coordinator's reliability counters.
+    """
+
+    n: int
+    rate_per_s: float
+    duration_s: float
+    loss: float
+    rows: List[Tuple[str, ChurnRunStats, Dict[str, float], Dict[str, int]]]
+
+    def stats_for(self, mode: str) -> Tuple[ChurnRunStats, Dict[str, float]]:
+        for name, stats, divergence, _ in self.rows:
+            if name == mode:
+                return stats, divergence
+        raise KeyError(f"no run for mode={mode}")
+
+    def format_table(self) -> str:
+        rows = []
+        for mode, s, div, counters in self.rows:
+            disagreement = div["disagreement"]
+            rows.append(
+                [
+                    mode,
+                    f"{s.mean_availability:.4f}",
+                    f"{s.min_availability:.4f}",
+                    s.num_disruptions,
+                    f"{s.disruption_p90_s:.1f}",
+                    int(div["windows"]),
+                    f"{div['max_s']:.0f}",
+                    f"{div['total_s']:.0f}",
+                    (
+                        f"{disagreement:.3f}"
+                        if disagreement == disagreement  # not NaN
+                        else "-"
+                    ),
+                    counters.get("refresh_repairs", 0),
+                    "yes" if not div["open"] else "NO",
+                ]
+            )
+        return render_table(
+            [
+                "membership",
+                "avail_mean",
+                "avail_min",
+                "disruptions",
+                "p90_s",
+                "div_windows",
+                "div_max_s",
+                "div_total_s",
+                "disagreement",
+                "repairs",
+                "reconverged",
+            ],
+            rows,
+            title=(
+                "Lossy in-band membership — identical Poisson churn "
+                f"(n={self.n}, rate {self.rate_per_s:g}/s over "
+                f"{self.duration_s:g}s) on an underlay with "
+                f"{100.0 * self.loss:g}% per-packet loss; quorum router; "
+                "'in-band' puts view updates on that wire (coordinator "
+                "endpoint at node 0) with refresh-piggyback repair; "
+                "div_* / disagreement come from the view-divergence "
+                "metric; reconverged = no divergence window left open"
+            ),
+        )
+
+
+def run_in_band_churn(
+    n: int = 64,
+    rate_per_s: float = 0.05,
+    duration_s: float = 300.0,
+    seed: int = 42,
+    loss: float = IN_BAND_LOSS,
+    settle_s: float = 180.0,
+    measure_from_s: float = 60.0,
+) -> InBandChurnResult:
+    """Quorum-router churn on a lossy underlay, out-of-band vs in-band.
+
+    Both runs share the trace, the underlay, and every config knob
+    except ``membership_in_band``, so any availability difference is
+    attributable to membership delivery riding the same lossy wire.
+    The membership timeout is shortened so heartbeat repairs (timeout/3)
+    actually occur within the run.
+    """
+    churn = ChurnTrace.poisson(
+        n=n,
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        seed=seed,
+        crash_fraction=0.5,
+        warmup_s=60.0,
+    )
+    rows = []
+    for mode, in_band in (("out-of-band", False), ("in-band", True)):
+        config = OverlayConfig(
+            membership_deltas=True,
+            membership_in_band=in_band,
+            membership_timeout_s=300.0,
+        )
+        rng = np.random.default_rng(seed)
+        net = planetlab_like(churn.n, rng, base_loss=loss, lossy_fraction=0.0)
+        overlay = build_overlay(
+            trace=net,
+            router=RouterKind.QUORUM,
+            rng=rng,
+            config=config,
+            with_freshness=False,
+            active_members=churn.initial_active,
+        )
+        workload = run_churn_workload(
+            overlay, churn, settle_s=settle_s, sample_period_s=SAMPLE_PERIOD_S
+        )
+        stats = _stats_from_workload(workload, measure_from_s)
+        assert workload.recorder is not None
+        rows.append(
+            (
+                mode,
+                stats,
+                workload.recorder.view_divergence_summary(),
+                overlay.membership.stats.as_dict(),
+            )
+        )
+    return InBandChurnResult(
+        n=n, rate_per_s=rate_per_s, duration_s=duration_s, loss=loss, rows=rows
+    )

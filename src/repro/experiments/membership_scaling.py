@@ -15,11 +15,20 @@ delivery modes and measures what each view change costs:
   (``NOTIFY_BATCH_S``), so a burst of changes costs one version bump
   and one broadcast.
 
+The three modes above deliver out-of-band (reliable simulator
+callbacks, wire cost accounted). :func:`run_membership_in_band` puts the
+same trace on the *wire* instead: the coordinator is a transport
+endpoint on a lossy underlay (``IN_BAND_LOSS`` per-packet), members
+heartbeat with version piggybacks, and lost updates are detected and
+repaired (nack on an unappliable delta, plus the periodic heartbeat as
+backstop). Besides cost, it measures the **view divergence** the loss
+creates: windows during which live members held different versions.
+
 Convergence is checked literally: every live subscriber mirrors the
 updates it receives (applying deltas to its held view) and must end the
 run holding exactly the coordinator's final ``(version, members)``.
 
-All quantities are deterministic per seed — the table is regenerated
+All quantities are deterministic per seed — the tables are regenerated
 byte-identically by the ``membership`` CLI subcommand and the
 ``benchmarks/test_membership_scaling.py`` benchmark.
 """
@@ -29,9 +38,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.analysis.tables import render_table
 from repro.errors import ConfigError
+from repro.net.packet import MembershipDelta, MembershipRefresh, MembershipUpdate
 from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.net.trace import planetlab_like
+from repro.net.transport import DatagramTransport
 from repro.overlay import wire
 from repro.overlay.membership import (
     MembershipService,
@@ -39,6 +54,7 @@ from repro.overlay.membership import (
     ViewDelta,
     ViewUpdate,
 )
+from repro.overlay.stats import DisruptionRecorder
 from repro.workloads.trace import (
     ACTION_FAIL,
     ACTION_JOIN,
@@ -48,10 +64,16 @@ from repro.workloads.trace import (
 )
 
 __all__ = [
+    "IN_BAND_LOSS",
     "MembershipRunStats",
     "MembershipScalingResult",
+    "InBandMembershipStats",
+    "InBandScalingResult",
     "run_membership_mode",
     "run_membership_scaling",
+    "run_membership_in_band",
+    "run_in_band_scaling",
+    "churn_trace_for",
 ]
 
 #: Delivery modes compared per overlay size.
@@ -65,6 +87,16 @@ NOTIFY_BATCH_S = 5.0
 TIMEOUT_S = 240.0
 
 EXPIRY_CHECK_S = 30.0
+
+#: Heartbeat cadence (a third of the timeout, like the overlay nodes').
+HEARTBEAT_S = TIMEOUT_S / 3.0
+
+#: Per-packet loss probability of the in-band runs (the §6-style "1%
+#: loss" regime the reliability layer is stressed under).
+IN_BAND_LOSS = 0.01
+
+#: View-divergence sampling period of the in-band runs.
+DIVERGENCE_SAMPLE_S = 5.0
 
 
 class _MirrorSubscriber:
@@ -290,14 +322,7 @@ def run_membership_scaling(
     """
     rows: List[MembershipRunStats] = []
     for n in sizes:
-        trace = ChurnTrace.poisson(
-            n=n,
-            rate_per_s=rate_per_s,
-            duration_s=duration_s,
-            seed=seed,
-            crash_fraction=0.5,
-            warmup_s=30.0,
-        )
+        trace = churn_trace_for(n, rate_per_s, duration_s, seed)
         for mode in MODES:
             rows.append(run_membership_mode(trace, mode))
     return MembershipScalingResult(
@@ -305,5 +330,353 @@ def run_membership_scaling(
         rate_per_s=rate_per_s,
         duration_s=duration_s,
         seed=seed,
+        rows=rows,
+    )
+
+
+def churn_trace_for(
+    n: int, rate_per_s: float = 0.2, duration_s: float = 300.0, seed: int = 42
+) -> ChurnTrace:
+    """The Poisson churn trace every membership mode (out-of-band and
+    in-band) replays for a given size, so byte totals are comparable."""
+    return ChurnTrace.poisson(
+        n=n,
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        seed=seed,
+        crash_fraction=0.5,
+        warmup_s=30.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# In-band delivery: the same trace, but on a lossy wire
+# ----------------------------------------------------------------------
+class _InBandMember:
+    """A membership-only node on the wire: mirrors updates arriving as
+    real datagrams, heartbeats with its held-version piggyback, and
+    nacks (an immediate refresh) when a delta reveals a missed update —
+    the same client behavior :class:`~repro.overlay.node.OverlayNode`
+    implements for full overlays.
+    """
+
+    __slots__ = (
+        "member",
+        "transport",
+        "coordinator",
+        "view",
+        "out",
+        "full_updates",
+        "delta_updates",
+        "dropped_unappliable",
+        "refreshes_sent",
+        "_nacked_from",
+    )
+
+    def __init__(self, member: int, transport: DatagramTransport, coordinator: int):
+        self.member = member
+        self.transport = transport
+        self.coordinator = coordinator
+        self.view: Optional[MembershipView] = None
+        self.out = False
+        self.full_updates = 0
+        self.delta_updates = 0
+        self.dropped_unappliable = 0
+        self.refreshes_sent = 0
+        self._nacked_from: Optional[int] = None
+
+    def held_version(self) -> int:
+        return self.view.version if self.view is not None else 0
+
+    def send_refresh(self) -> None:
+        self.refreshes_sent += 1
+        self.transport.send(
+            self.member,
+            self.coordinator,
+            MembershipRefresh(origin=self.member, view_version=self.held_version()),
+        )
+
+    def _request_repair(self) -> None:
+        held = self.held_version()
+        if self._nacked_from == held:
+            return  # one nack per detected gap; heartbeat is the backstop
+        self._nacked_from = held
+        self.send_refresh()
+
+    def _install(self, view: MembershipView) -> None:
+        if self.member not in view:
+            self.out = True  # the "you are out" notice: stop participating
+            return
+        self.view = view
+        self._nacked_from = None
+
+    def on_view(self, update: ViewUpdate) -> None:
+        """Bootstrap-time callback (synchronous, like the harness)."""
+        assert isinstance(update, MembershipView)
+        self.full_updates += 1
+        self._install(update)
+
+    def handle(self, msg, src: int) -> None:
+        """Transport delivery handler."""
+        if isinstance(msg, MembershipUpdate):
+            view = MembershipView(version=msg.version, members=msg.members)
+            if self.view is not None and view.version <= self.view.version:
+                return  # repair resend that raced regular publication
+            self.full_updates += 1
+            self._install(view)
+        elif isinstance(msg, MembershipDelta):
+            delta = ViewDelta(
+                from_version=msg.from_version,
+                to_version=msg.to_version,
+                joined=msg.joined,
+                left=msg.left,
+            )
+            if self.view is None or self.view.version != delta.from_version:
+                self.dropped_unappliable += 1
+                self._request_repair()
+                return
+            self.delta_updates += 1
+            self._install(delta.apply(self.view))
+
+
+@dataclass
+class InBandMembershipStats:
+    """Summary of one in-band (lossy wire) membership run."""
+
+    n: int
+    loss: float
+    num_events: int
+    views_published: int
+    updates_sent: int
+    full_updates: int
+    delta_updates: int
+    update_bytes: int
+    refresh_msgs: int
+    refresh_bytes: int
+    repairs: int
+    gap_fallbacks: int
+    parting_notices: int
+    transport_dropped: int
+    div_windows: int
+    div_total_s: float
+    div_max_s: float
+    div_open: bool
+    converged: bool
+
+
+def run_membership_in_band(
+    trace: ChurnTrace,
+    loss: float = IN_BAND_LOSS,
+    notify_batch_s: float = 0.0,
+    settle_s: float = 90.0,
+    seed: int = 42,
+) -> InBandMembershipStats:
+    """Replay one churn trace with view updates on a lossy wire.
+
+    The coordinator is a transport endpoint co-located at node 0 of a
+    PlanetLab-like underlay with uniform per-packet ``loss``; every view
+    update and refresh is a datagram subject to that loss and to real
+    delivery delay. The run reports, besides the usual cost counters,
+    the view divergence the loss created and whether every live member
+    reconverged to the coordinator's exact final view.
+    """
+    rng = np.random.default_rng(seed)
+    net = planetlab_like(trace.n, rng, base_loss=loss, lossy_fraction=0.0)
+    sim = Simulator()
+    transport = DatagramTransport(
+        sim, Topology.from_trace(net), np.random.default_rng(rng.integers(2**63))
+    )
+    service = MembershipService(
+        sim,
+        timeout_s=TIMEOUT_S,
+        expiry_check_s=EXPIRY_CHECK_S,
+        deltas=True,
+        notify_batch_s=notify_batch_s,
+    )
+    coordinator = trace.n
+    service.attach_transport(transport, address=coordinator, host=0)
+
+    members: Dict[int, _InBandMember] = {}
+    alive: Set[int] = set()
+
+    def admit(m: int) -> _InBandMember:
+        node = _InBandMember(m, transport, coordinator)
+        members[m] = node
+        transport.register(m, node.handle)
+        alive.add(m)
+        return node
+
+    def apply(ev: ChurnEvent) -> None:
+        if ev.action == ACTION_JOIN:
+            if service.is_member(ev.node):
+                service.evict(ev.node)  # reboot of a not-yet-expired crash
+            node = admit(ev.node)  # fresh process, no view yet
+            service.join(ev.node, node.on_view)
+        elif ev.action == ACTION_LEAVE:
+            service.leave(ev.node)
+            transport.unregister(ev.node)
+            alive.discard(ev.node)
+            members.pop(ev.node, None)
+        else:  # crash: go silent, drop deliveries, let refresh expire
+            transport.unregister(ev.node)
+            alive.discard(ev.node)
+            members.pop(ev.node, None)
+
+    for ev in trace.events:
+        sim.schedule_at(ev.time, apply, ev)
+
+    # Members that received the "you are out" notice (``out``) behave
+    # like a stopped overlay node: no more heartbeats, and they leave
+    # the live population the divergence metric is computed over.
+    def heartbeat() -> None:
+        for m in sorted(alive):
+            if not members[m].out:
+                members[m].send_refresh()
+
+    sim.periodic(HEARTBEAT_S, heartbeat, phase=HEARTBEAT_S)
+
+    recorder = DisruptionRecorder(trace.n)
+
+    def sample_views() -> None:
+        versions = np.full(trace.n, -1, dtype=np.int64)
+        live = np.zeros(trace.n, dtype=bool)
+        for m in alive:
+            node = members[m]
+            if node.out:
+                continue
+            live[m] = True
+            if node.view is not None:
+                versions[m] = node.view.version
+        recorder.sample_views(sim.now, versions, live)
+
+    sim.periodic(DIVERGENCE_SAMPLE_S, sample_views, phase=DIVERGENCE_SAMPLE_S)
+
+    for m in trace.initial_active:
+        admit(m)
+    service.bootstrap({m: members[m].on_view for m in trace.initial_active})
+    sim.run_until(trace.duration_s + settle_s)
+    # Deterministic close: flush pending batches, then leave enough time
+    # for the final updates — and, where those were lost, for heartbeat
+    # repairs — to land before judging convergence.
+    service.quiesce()
+    sim.run_until(sim.now + 2.0 * HEARTBEAT_S + 5.0)
+    sample_views()
+
+    stats = service.stats
+    converged = all(
+        members[m].view == service.view
+        for m in sorted(alive)
+        if service.is_member(m)
+    )
+    divergence = recorder.view_divergence_summary()
+    refresh_msgs = sum(node.refreshes_sent for node in members.values())
+    return InBandMembershipStats(
+        n=trace.n,
+        loss=loss,
+        num_events=trace.num_events,
+        views_published=stats.get("views_published"),
+        updates_sent=stats.get("view_full_msgs") + stats.get("view_delta_msgs"),
+        full_updates=stats.get("view_full_msgs"),
+        delta_updates=stats.get("view_delta_msgs"),
+        update_bytes=stats.get("view_full_bytes") + stats.get("view_delta_bytes"),
+        refresh_msgs=refresh_msgs,
+        refresh_bytes=refresh_msgs * wire.MEMBERSHIP_REFRESH_BYTES,
+        repairs=stats.get("refresh_repairs"),
+        gap_fallbacks=stats.get("view_gap_fallbacks"),
+        parting_notices=stats.get("parting_notices"),
+        transport_dropped=transport.dropped_count,
+        div_windows=int(divergence["windows"]),
+        div_total_s=divergence["total_s"],
+        div_max_s=divergence["max_s"],
+        div_open=bool(divergence["open"]),
+        converged=converged,
+    )
+
+
+@dataclass
+class InBandScalingResult:
+    """In-band runs across sizes, plus the shared trace parameters."""
+
+    sizes: Tuple[int, ...]
+    rate_per_s: float
+    duration_s: float
+    seed: int
+    loss: float
+    rows: List[InBandMembershipStats]
+
+    def stats_for(self, n: int) -> InBandMembershipStats:
+        for s in self.rows:
+            if s.n == n:
+                return s
+        raise KeyError(f"no in-band run for n={n}")
+
+    def format_table(self) -> str:
+        rows = []
+        for s in self.rows:
+            rows.append(
+                [
+                    s.n,
+                    s.num_events,
+                    s.views_published,
+                    s.updates_sent,
+                    f"{s.update_bytes / 1024.0:.1f}",
+                    s.repairs,
+                    s.gap_fallbacks,
+                    s.div_windows,
+                    f"{s.div_max_s:.0f}",
+                    f"{s.div_total_s:.0f}",
+                    "yes" if s.converged and not s.div_open else "NO",
+                ]
+            )
+        return render_table(
+            [
+                "n",
+                "events",
+                "views",
+                "updates",
+                "upd_KiB",
+                "repairs",
+                "fallbacks",
+                "div_windows",
+                "div_max_s",
+                "div_total_s",
+                "converged",
+            ],
+            rows,
+            title=(
+                "Membership scaling, IN-BAND delivery — view updates as "
+                "real wire messages (coordinator endpoint at node 0, "
+                f"{100.0 * self.loss:g}% per-packet loss) under identical "
+                f"Poisson churn (rate {self.rate_per_s:g}/s over "
+                f"{self.duration_s:g}s, seed {self.seed}); lost updates "
+                "are repaired via refresh piggybacks/nacks; div_* = view-"
+                "divergence windows among live members; converged = all "
+                "live members ended on the coordinator's exact view with "
+                "no open divergence window"
+            ),
+        )
+
+
+def run_in_band_scaling(
+    sizes: Sequence[int] = (256, 1024),
+    rate_per_s: float = 0.2,
+    duration_s: float = 300.0,
+    seed: int = 42,
+    loss: float = IN_BAND_LOSS,
+) -> InBandScalingResult:
+    """In-band runs at each size, on the same traces as the out-of-band
+    modes (so update-byte totals are directly comparable)."""
+    rows = [
+        run_membership_in_band(
+            churn_trace_for(n, rate_per_s, duration_s, seed), loss=loss, seed=seed
+        )
+        for n in sizes
+    ]
+    return InBandScalingResult(
+        sizes=tuple(sizes),
+        rate_per_s=rate_per_s,
+        duration_s=duration_s,
+        seed=seed,
+        loss=loss,
         rows=rows,
     )

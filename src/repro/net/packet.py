@@ -24,16 +24,24 @@ __all__ = [
     "RecommendationMessage",
     "RelayEnvelope",
     "MembershipUpdate",
+    "MembershipDelta",
+    "MembershipRefresh",
     "KIND_PROBE",
     "KIND_LINKSTATE",
     "KIND_RECOMMENDATION",
     "KIND_MEMBERSHIP",
+    "KIND_MEMBERSHIP_CTRL",
 ]
 
 KIND_PROBE = "probe"
 KIND_LINKSTATE = "ls"
 KIND_RECOMMENDATION = "rec"
 KIND_MEMBERSHIP = "member"
+#: Membership control traffic (refresh heartbeats with their version
+#: piggyback). Kept distinct from ``member`` so per-node view-update
+#: accounting is not skewed by the coordinator host receiving every
+#: overlay member's heartbeats.
+KIND_MEMBERSHIP_CTRL = "member-ctl"
 
 
 @dataclass
@@ -175,7 +183,12 @@ class RelayEnvelope(Message):
 
 @dataclass
 class MembershipUpdate(Message):
-    """A new membership view pushed by the membership service."""
+    """A new full membership view pushed by the membership service.
+
+    With in-band membership this is a real wire message from the
+    coordinator endpoint; out-of-band it is only used for its
+    :meth:`wire_size` accounting.
+    """
 
     version: int = 0
     members: Tuple[int, ...] = ()
@@ -186,3 +199,45 @@ class MembershipUpdate(Message):
 
     def wire_size(self) -> int:
         return wire.membership_message_bytes(len(self.members))
+
+
+@dataclass
+class MembershipDelta(Message):
+    """An incremental membership view update on the overlay wire.
+
+    Carries one coalesced ``(from_version, to_version)`` transition; the
+    receiver applies it to the view it holds at exactly ``from_version``
+    (the :func:`repro.overlay.wire.encode_view_delta` layout).
+    """
+
+    from_version: int = 0
+    to_version: int = 0
+    joined: Tuple[int, ...] = ()
+    left: Tuple[int, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return KIND_MEMBERSHIP
+
+    def wire_size(self) -> int:
+        return wire.membership_delta_message_bytes(len(self.joined), len(self.left))
+
+
+@dataclass
+class MembershipRefresh(Message):
+    """A member's heartbeat to the in-band membership coordinator.
+
+    ``view_version`` piggybacks the sender's currently-held view version
+    (0 = no view yet); the coordinator compares it against the published
+    version to detect gaps left by lost view updates and re-send the
+    smallest bridging update.
+    """
+
+    view_version: int = 0
+
+    @property
+    def kind(self) -> str:
+        return KIND_MEMBERSHIP_CTRL
+
+    def wire_size(self) -> int:
+        return wire.membership_refresh_message_bytes()

@@ -55,6 +55,10 @@ class DatagramTransport:
         self._bandwidth = bandwidth
         self._handlers: Dict[int, DeliveryHandler] = {}
         self._registered = np.zeros(topology.n, dtype=bool)
+        #: Endpoint address -> hosting underlay node. Services (the
+        #: membership coordinator) get their own address but share their
+        #: host's links, delays, and byte accounting.
+        self._host_of: Dict[int, int] = {}
         self.sent_count = 0
         self.dropped_count = 0
         self.delivered_count = 0
@@ -74,11 +78,38 @@ class DatagramTransport:
         if 0 <= node_id < self._registered.shape[0]:
             self._registered[node_id] = True
 
+    def register_endpoint(
+        self, address: int, host: int, handler: DeliveryHandler
+    ) -> None:
+        """Register a service endpoint co-located at underlay node ``host``.
+
+        The endpoint is addressable like a node (``send(..., address,
+        ...)``) but its traffic traverses — and is accounted against —
+        its host's links: loss, outages, and delay between the endpoint
+        and any node are those of the ``host <-> node`` path. This is
+        how control-plane services (the in-band membership coordinator)
+        share the data plane instead of enjoying out-of-band delivery.
+        """
+        if not 0 <= host < self._topology.n:
+            raise SimulationError(f"endpoint host {host} is not a topology node")
+        if address in self._handlers:
+            raise SimulationError(f"address {address} already registered")
+        self._handlers[address] = handler
+        self._host_of[address] = host
+
     def unregister(self, node_id: int) -> None:
-        """Detach ``node_id``; in-flight messages to it are dropped."""
+        """Detach ``node_id``; in-flight messages to it are dropped.
+
+        Endpoints keep their host mapping, so one can re-``register`` at
+        the same address after an outage window.
+        """
         self._handlers.pop(node_id, None)
         if 0 <= node_id < self._registered.shape[0]:
             self._registered[node_id] = False
+
+    def _underlay(self, node_id: int) -> int:
+        """The topology node whose links carry ``node_id``'s traffic."""
+        return self._host_of.get(node_id, node_id)
 
     def is_registered(self, node_id: int) -> bool:
         return node_id in self._handlers
@@ -109,15 +140,17 @@ class DatagramTransport:
             return True
 
         size = msg.wire_size()
+        src_u = self._underlay(src)
+        dst_u = self._underlay(dst)
         if self._bandwidth is not None:
-            self._bandwidth.record_out(src, msg.kind, size, now)
+            self._bandwidth.record_out(src_u, msg.kind, size, now)
         self.sent_count += 1
 
-        if not self._topology.packet_delivered(src, dst, now, self._rng):
+        if not self._topology.packet_delivered(src_u, dst_u, now, self._rng):
             self.dropped_count += 1
             return False
 
-        delay = self._topology.one_way_delay_s(src, dst)
+        delay = self._topology.one_way_delay_s(src_u, dst_u)
         self._sim.schedule(delay, self._deliver, src, dst, msg, size)
         return True
 
@@ -127,6 +160,6 @@ class DatagramTransport:
             self.dropped_count += 1
             return
         if self._bandwidth is not None:
-            self._bandwidth.record_in(dst, msg.kind, size, self._sim.now)
+            self._bandwidth.record_in(self._underlay(dst), msg.kind, size, self._sim.now)
         self.delivered_count += 1
         handler(msg, src)

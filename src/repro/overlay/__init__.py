@@ -15,6 +15,7 @@ from repro.overlay.stats import (
     ROUTING_KINDS,
     BandwidthRecorder,
     CounterSet,
+    DisruptionRecorder,
     FreshnessRecorder,
 )
 
@@ -22,6 +23,7 @@ __all__ = [
     "BandwidthRecorder",
     "MaliciousQuorumRouter",
     "CounterSet",
+    "DisruptionRecorder",
     "FreshnessRecorder",
     "FullMeshRouter",
     "LinkMonitor",

@@ -67,6 +67,13 @@ class OverlayConfig:
     #: inside the window coalesce into one version bump and one
     #: (delta) broadcast. ``0`` publishes every change immediately.
     membership_notify_batch_s: float = 0.0
+    #: In-band membership: the coordinator is an addressable endpoint on
+    #: the overlay transport (co-located at node 0) and view updates are
+    #: real wire messages subject to loss, outages, and delay; nodes
+    #: heartbeat with refresh messages piggybacking their held view
+    #: version so lost updates are detected and repaired. Off by default
+    #: so the paper-parameter runs keep their exact event schedules.
+    membership_in_band: bool = False
     #: Debug assertion path: after every incremental grid update, prove
     #: the delta-applied grid identical to a from-scratch construction.
     membership_grid_checks: bool = False

@@ -118,13 +118,25 @@ class Overlay:
                 self.config.routing_interval_s(self.router_kind),
             )
         )
-        # Start strictly after the membership push lands — which with a
-        # batching window may lag the join by up to the window itself.
-        node.schedule_start(
-            0.1 + self.config.membership_notify_batch_s,
-            monitor_phase,
-            router_phase,
-        )
+        if self.config.membership_in_band:
+            # The join's full view travels the (lossy) wire: start when
+            # it actually arrives, and periodically re-request it until
+            # then. The acquisition interval sits just past the batching
+            # window so a node never nags the coordinator about a view
+            # that is still legitimately buffered.
+            node.arm_start_on_view(
+                monitor_phase,
+                router_phase,
+                acquire_interval_s=1.0 + self.config.membership_notify_batch_s,
+            )
+        else:
+            # Start strictly after the membership push lands — which with
+            # a batching window may lag the join by up to the window.
+            node.schedule_start(
+                0.1 + self.config.membership_notify_batch_s,
+                monitor_phase,
+                router_phase,
+            )
 
     def leave_node(self, node_id: int) -> None:
         """Gracefully remove a node: it announces its departure, all
@@ -181,7 +193,22 @@ class Overlay:
     def _sample_disruption(self) -> None:
         assert self.disruption is not None
         ok, mask = self.route_ok_matrix()
-        self.disruption.sample(self.sim.now, ok, mask)
+        self.disruption.sample(self.sim.now, ok, mask, versions=self.view_versions())
+
+    def view_versions(self) -> np.ndarray:
+        """Per-node held membership view version (-1 = no view / down).
+
+        Feeds the :class:`DisruptionRecorder` view-divergence metric:
+        with in-band (lossy) membership delivery, live nodes transiently
+        hold different versions until the reliability layer repairs the
+        gap.
+        """
+        versions = np.full(self.n, -1, dtype=np.int64)
+        for i in self.active:
+            node = self.nodes[i]
+            if node.started and node.router.view is not None:
+                versions[i] = node.router.view.version
+        return versions
 
     # ------------------------------------------------------------------
     # Measurements
@@ -197,9 +224,12 @@ class Overlay:
     def membership_bytes(self, t0: float = 0.0, t1: Optional[float] = None) -> np.ndarray:
         """Per-node membership view-update bytes received over [t0, t1).
 
-        Membership delivery is out-of-band (simulator callbacks), but
-        each update's §5 wire size is accounted so view-change cost is
-        measurable — full views are O(n) per update, deltas O(changes).
+        With ``membership_in_band`` the transport accounts the real
+        datagrams (lost updates cost the coordinator host its outgoing
+        bytes but are never received); out-of-band, each update's §5
+        wire size is credited to the receiver when it is scheduled.
+        Either way full views are O(n) per update, deltas O(changes).
+        Refresh heartbeats are accounted separately (``member-ctl``).
         """
         return self.bandwidth.bytes_per_node(
             MEMBERSHIP_KINDS, t0, t1, directions=("in",)
@@ -355,6 +385,11 @@ def build_overlay(
         notify_batch_s=config.membership_notify_batch_s,
         bandwidth=bandwidth,
     )
+    if config.membership_in_band:
+        # The coordinator answers at address n (one past the node ids)
+        # and shares node 0's links: view updates are real datagrams on
+        # the same lossy wire the overlay routes over.
+        membership.attach_transport(transport, address=n, host=0)
 
     malicious_set = set(malicious)
     if malicious_set and router is not RouterKind.QUORUM:
@@ -389,7 +424,12 @@ def build_overlay(
         return _refresh
 
     for node in nodes:
-        node.on_refresh = _make_refresh(node.id)
+        if config.membership_in_band:
+            # Heartbeats are wire messages to the coordinator endpoint,
+            # piggybacking the held view version (the gap detector).
+            node.membership_addr = membership.address
+        else:
+            node.on_refresh = _make_refresh(node.id)
 
     membership.bootstrap(
         {node.id: node.on_view for node in nodes if node.id in active}

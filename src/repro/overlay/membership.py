@@ -7,13 +7,31 @@ the identical grid (sorted member IDs filled row-major). Membership
 timeouts are long (30 minutes); transient failures are the overlay
 failover mechanisms' job, not the membership service's.
 
-The coordinator here delivers view updates through simulator callbacks
-(out-of-band with respect to the overlay transport): membership traffic
-is not part of the §6 bandwidth evaluation, and keeping it off the
-transport keeps the accounting exactly comparable to the paper's. What
-each update *would* occupy on the wire is still accounted (optionally
-into a :class:`~repro.overlay.stats.BandwidthRecorder` under the
-``member`` kind) so view-change cost is measurable.
+The coordinator supports two delivery planes:
+
+* **Out-of-band** (the default, and the mode every paper-parameter
+  experiment runs in): view updates are delivered through simulator
+  callbacks after a fixed ``notify_delay_s``. Delivery is reliable by
+  construction — membership traffic is not part of the §6 bandwidth
+  evaluation, so keeping it off the transport keeps that accounting
+  exactly comparable to the paper's. What each update *would* occupy on
+  the wire is still accounted (optionally into a
+  :class:`~repro.overlay.stats.BandwidthRecorder` under the ``member``
+  kind) so view-change cost is measurable.
+* **In-band** (:meth:`MembershipService.attach_transport`): the
+  coordinator is an addressable endpoint on the overlay transport,
+  co-located at a host node whose links it shares, and every full view
+  and :class:`ViewDelta` is a real wire message subject to loss,
+  outages, and delivery delay. Because the wire is unreliable, delivery
+  carries a reliability layer: members piggyback their held view
+  version on :class:`~repro.net.packet.MembershipRefresh` heartbeats,
+  the coordinator compares it against the published version, and on a
+  gap re-sends the smallest bridging update (a coalesced delta from the
+  log, or a full view when the log no longer reaches back). Until a
+  lost update is repaired, live nodes transiently hold *different*
+  views — the divergence the
+  :class:`~repro.overlay.stats.DisruptionRecorder` view-divergence
+  metric measures.
 
 Incremental views (the delta protocol)
 --------------------------------------
@@ -53,13 +71,22 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Tuple, Union
 
 from repro.errors import MembershipError
-from repro.net.packet import KIND_MEMBERSHIP
+from repro.net.packet import (
+    KIND_MEMBERSHIP,
+    MembershipDelta,
+    MembershipRefresh,
+    MembershipUpdate,
+    Message,
+)
 from repro.net.simulator import Simulator
 from repro.overlay import wire
 from repro.overlay.stats import BandwidthRecorder, CounterSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.transport import DatagramTransport
 
 __all__ = ["MembershipView", "ViewDelta", "ViewUpdate", "MembershipService"]
 
@@ -240,6 +267,14 @@ class MembershipService:
         self._pending_joined: set = set()
         self._pending_left: set = set()
         self._flush_event = None
+        #: Members removed involuntarily (refresh expiry) that are still
+        #: owed the view transition that excludes them — the final "you
+        #: are out" update a live-but-slow-refreshing node needs to stop
+        #: routing on a stale grid.
+        self._parting: Dict[int, ViewCallback] = {}
+        #: In-band delivery plane (None = out-of-band callbacks).
+        self._transport: Optional["DatagramTransport"] = None
+        self.address: Optional[int] = None
         self.stats = CounterSet()
         self._expiry_timer = sim.periodic(
             expiry_check_s, self._expire_stale, phase=expiry_check_s
@@ -249,6 +284,81 @@ class MembershipService:
     def view(self) -> MembershipView:
         """The last *published* view (batched changes may be pending)."""
         return self._view
+
+    @property
+    def in_band(self) -> bool:
+        """Whether view updates travel the overlay wire."""
+        return self._transport is not None
+
+    def attach_transport(
+        self, transport: "DatagramTransport", address: int, host: int = 0
+    ) -> None:
+        """Become an addressable endpoint: view updates go on the wire.
+
+        The coordinator co-locates at underlay node ``host`` (sharing its
+        links and byte accounting) and answers at ``address``, which must
+        not collide with any node id — the harness uses ``n``. From this
+        point on, every published view / delta is a real
+        :class:`~repro.net.packet.MembershipUpdate` /
+        :class:`~repro.net.packet.MembershipDelta` datagram, and members
+        are expected to heartbeat with
+        :class:`~repro.net.packet.MembershipRefresh` messages instead of
+        calling :meth:`refresh` directly. ``bootstrap`` stays
+        synchronous either way — it models out-of-band provisioning of
+        the initial population, not a protocol exchange.
+        """
+        if self._transport is not None:
+            raise MembershipError("membership service already has a transport")
+        self._transport = transport
+        self.address = address
+        transport.register_endpoint(address, host, self.handle_message)
+
+    def handle_message(self, msg: Message, src: int) -> None:
+        """Transport delivery handler for the coordinator endpoint."""
+        if isinstance(msg, MembershipRefresh):
+            self.handle_refresh(msg.origin, msg.view_version)
+
+    def handle_refresh(self, member: int, held_version: int) -> None:
+        """An in-band refresh: heartbeat plus held-view piggyback.
+
+        Non-members (expelled nodes whose eviction notice was lost, or
+        that refreshed after expiry) are answered with the current full
+        view so they learn they are out instead of routing on a stale
+        grid forever. For members, a ``held_version`` behind the
+        published version reveals that a view update was lost on the
+        wire; the coordinator re-sends the smallest bridging update.
+        """
+        if member not in self._last_refresh:
+            self.stats.incr("refresh_from_nonmember")
+            if member not in self._parting:
+                # Already out of the published view: re-send the "you
+                # are out" notice (the original may have been lost). A
+                # member still in ``_parting`` is skipped — its eviction
+                # is batched but unpublished, so the current view would
+                # wrongly still contain it; the flush delivers the real
+                # notice.
+                self._push_parting(member, self._sim.now)
+            return
+        self._last_refresh[member] = self._sim.now
+        if member in self._pending_joined:
+            # Its admission is still buffered in the batching window; the
+            # view including it will be pushed at the flush.
+            return
+        if held_version >= self._version:
+            return
+        # Gap repair: bridge from what the member actually holds (the
+        # delivered-version bookkeeping lies when pushes were lost).
+        update: Optional[ViewUpdate] = None
+        if self._deltas and held_version > 0:
+            update = self._coalesce_since(held_version)
+            if update is None:
+                self.stats.incr("view_gap_fallbacks")
+        if update is None:
+            update = self._view
+        self.stats.incr("refresh_repairs")
+        self._delivered[member] = self._version
+        self._account(member, update, self._sim.now)
+        self._push(member, update)
 
     @property
     def pending_changes(self) -> int:
@@ -300,6 +410,7 @@ class MembershipService:
         self._last_refresh[member] = self._sim.now
         self._subscribers[member] = callback
         self._delivered[member] = 0  # force a full initial view
+        self._parting.pop(member, None)  # a rejoiner is not "out" anymore
         self._record_change(joined=(member,))
 
     def leave(self, member: int) -> None:
@@ -403,8 +514,21 @@ class MembershipService:
             left=tuple(sorted(left)),
         )
 
+    def _record_bandwidth(self, member: int, nbytes: int, t: float) -> None:
+        # In-band, the transport accounts the real bytes of every send
+        # and delivery; out-of-band the would-be wire size is credited
+        # to the receiving member. Members beyond the recorder's initial
+        # population (flash-crowd joiners) grow it rather than being
+        # silently skipped, so per-member totals always equal the
+        # aggregate stats counters.
+        if self._transport is not None or self._bandwidth is None or member < 0:
+            return
+        if member >= self._bandwidth.n:
+            self._bandwidth.grow_to(member + 1)
+        self._bandwidth.record_in(member, KIND_MEMBERSHIP, nbytes, t)
+
     def _account(self, member: int, update: ViewUpdate, t: float) -> None:
-        """Count what ``update`` would occupy on the wire (§5 encoding)."""
+        """Count what ``update`` occupies on the wire (§5 encoding)."""
         if isinstance(update, ViewDelta):
             nbytes = wire.membership_delta_message_bytes(
                 len(update.joined), len(update.left)
@@ -415,8 +539,52 @@ class MembershipService:
             nbytes = wire.membership_message_bytes(update.n)
             self.stats.incr("view_full_msgs")
             self.stats.incr("view_full_bytes", nbytes)
-        if self._bandwidth is not None and 0 <= member < self._bandwidth.n:
-            self._bandwidth.record_in(member, KIND_MEMBERSHIP, nbytes, t)
+        self._record_bandwidth(member, nbytes, t)
+
+    def _wire_message(self, update: ViewUpdate) -> Message:
+        if isinstance(update, ViewDelta):
+            return MembershipDelta(
+                origin=self.address,
+                from_version=update.from_version,
+                to_version=update.to_version,
+                joined=update.joined,
+                left=update.left,
+            )
+        return MembershipUpdate(
+            origin=self.address, version=update.version, members=update.members
+        )
+
+    def _push(
+        self,
+        member: int,
+        update: ViewUpdate,
+        callback: Optional[ViewCallback] = None,
+    ) -> None:
+        """Deliver ``update`` to ``member`` on the configured plane."""
+        if self._transport is not None:
+            self._transport.send(self.address, member, self._wire_message(update))
+            return
+        if callback is None:
+            callback = self._subscribers[member]
+        self._sim.schedule(self._notify_delay_s, callback, update)
+
+    def _push_parting(
+        self, member: int, t: float, callback: Optional[ViewCallback] = None
+    ) -> None:
+        """The final "you are out" update for an involuntarily removed
+        member: the current full view, which no longer contains it.
+
+        Counted under dedicated ``parting_notice*`` stats (not the
+        ``view_full/delta`` counters) so view-update accounting stays
+        comparable across delivery planes and with older tables.
+        """
+        if self._transport is None and callback is None:
+            return
+        self.stats.incr("parting_notices")
+        nbytes = wire.membership_message_bytes(self._view.n)
+        self.stats.incr("parting_notice_bytes", nbytes)
+        self._record_bandwidth(member, nbytes, t)
+        self._push(member, self._view, callback)
 
     def _notify_all(self) -> None:
         deliver_at = self._sim.now + self._notify_delay_s
@@ -438,7 +606,14 @@ class MembershipService:
                 update = self._view
             self._delivered[member] = self._version
             self._account(member, update, deliver_at)
-            self._sim.schedule(self._notify_delay_s, callback, update)
+            self._push(member, update, callback)
+        # Expired members learn the view transition that excluded them —
+        # without this, a live node whose refreshes were merely slow (or
+        # lost) keeps routing on a stale grid forever.
+        if self._parting:
+            parting, self._parting = self._parting, {}
+            for member, callback in parting.items():
+                self._push_parting(member, deliver_at, callback)
 
     def _expire_stale(self) -> None:
         now = self._sim.now
@@ -451,7 +626,10 @@ class MembershipService:
             return
         for m in stale:
             del self._last_refresh[m]
-            del self._subscribers[m]
+            # Keep the callback: the eviction is published *after* this,
+            # and the expired member must still receive it (it may be a
+            # live node whose refreshes were slow or lost).
+            self._parting[m] = self._subscribers.pop(m)
             self._delivered.pop(m, None)
         self.stats.incr("expiries", len(stale))
         self._record_change(left=tuple(sorted(stale)))

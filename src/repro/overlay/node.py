@@ -9,6 +9,8 @@ import numpy as np
 from repro.errors import ConfigError, RoutingError
 from repro.net.packet import (
     LinkStateMessage,
+    MembershipDelta,
+    MembershipRefresh,
     MembershipUpdate,
     Message,
     RecommendationMessage,
@@ -79,12 +81,31 @@ class OverlayNode:
         self._registered = True
         #: Membership heartbeat hook; the harness points this at the
         #: membership service's ``refresh`` so live nodes never expire.
+        #: Used by the out-of-band plane only.
         self.on_refresh: Optional[Callable[[], None]] = None
+        #: In-band membership: the coordinator's transport address.
+        #: When set, heartbeats are real MembershipRefresh datagrams
+        #: piggybacking the held view version, and the node requests
+        #: repair when it detects it missed a view update.
+        self.membership_addr: Optional[int] = None
         self._refresh_timer = None
         self._pending_start = None
-        #: Deltas whose base version did not match the held view (should
-        #: not happen while subscribed; the next full view resyncs).
+        #: Armed by the harness for in-band joins: (monitor, router)
+        #: phases to start with as soon as a view containing this node
+        #: arrives (the join's full view may be lost on the wire).
+        self._start_on_view = None
+        self._acquire_timer = None
+        #: Held version a repair was already requested from (one nack
+        #: per detected gap, re-armed when a view installs).
+        self._repair_requested_from: Optional[int] = None
+        #: Deltas whose base version did not match the held view (lost
+        #: update upstream when in-band; the piggybacked refresh asks
+        #: the coordinator for the bridging update).
         self.dropped_unappliable_deltas = 0
+        #: Full views at or below the already-held version (repair
+        #: resends racing regular publication); ignored, not re-installed.
+        self.dropped_stale_full_views = 0
+        self.router.on_version_gap = self._on_router_version_gap
         transport.register(node_id, self.on_message)
 
     # ------------------------------------------------------------------
@@ -109,13 +130,20 @@ class OverlayNode:
         self._started = True
         self.monitor.start(phase=monitor_phase)
         self.router.start(phase=router_phase)
-        if self.on_refresh is not None:
+        if self.membership_addr is not None or self.on_refresh is not None:
             # Heartbeat well inside the membership timeout so a live
             # node is never expired (§5: timeouts are long; only truly
-            # dead nodes go silent for a whole timeout).
+            # dead nodes go silent for a whole timeout). In-band, the
+            # heartbeat is a wire message that doubles as the gap
+            # detector: it piggybacks the held view version.
+            refresh = (
+                self.send_membership_refresh
+                if self.membership_addr is not None
+                else self.on_refresh
+            )
             interval = self.config.membership_timeout_s / 3.0
             self._refresh_timer = self.sim.periodic(
-                interval, self.on_refresh, phase=interval
+                interval, refresh, phase=interval
             )
 
     def schedule_start(
@@ -133,10 +161,45 @@ class OverlayNode:
         self._pending_start = None
         self.start(monitor_phase, router_phase)
 
+    def arm_start_on_view(
+        self, monitor_phase: float, router_phase: float, acquire_interval_s: float
+    ) -> None:
+        """In-band join: start as soon as a view containing this node
+        arrives; until then, periodically ask the coordinator for it.
+
+        With wire delivery the join's initial full view may be lost, so
+        a fixed start delay could fire with no view at all. Instead the
+        start is view-triggered, and an acquisition timer re-sends
+        refreshes (piggybacking version 0) that make the coordinator
+        re-push the full view.
+        """
+        if self._pending_start is not None or self._start_on_view is not None:
+            raise ConfigError(f"node {self.id} already has a pending start")
+        if self.membership_addr is None:
+            raise ConfigError(f"node {self.id} has no membership address")
+        self._start_on_view = (monitor_phase, router_phase)
+        self._acquire_timer = self.sim.periodic(
+            acquire_interval_s, self.send_membership_refresh, phase=acquire_interval_s
+        )
+
+    def _maybe_start_on_view(self) -> None:
+        if self._start_on_view is None or self._started:
+            return
+        monitor_phase, router_phase = self._start_on_view
+        self._start_on_view = None
+        if self._acquire_timer is not None:
+            self._acquire_timer.stop()
+            self._acquire_timer = None
+        self.start(monitor_phase, router_phase)
+
     def _cancel_pending_start(self) -> None:
         if self._pending_start is not None:
             self._pending_start.cancel()
             self._pending_start = None
+        self._start_on_view = None
+        if self._acquire_timer is not None:
+            self._acquire_timer.stop()
+            self._acquire_timer = None
 
     def stop(self) -> None:
         self._cancel_pending_start()
@@ -172,6 +235,8 @@ class OverlayNode:
         if not self._registered:
             self.transport.register(self.id, self.on_message)
             self._registered = True
+        self._repair_requested_from = None
+        self.router.forget_view()
         self.monitor.reset()
 
     # ------------------------------------------------------------------
@@ -188,41 +253,108 @@ class OverlayNode:
             return
         # Routing messages are attributed to their *origin*, which for a
         # relayed message differs from the transport-level sender.
-        if isinstance(msg, LinkStateMessage):
-            self.router.on_linkstate(msg, msg.origin)
-        elif isinstance(msg, RecommendationMessage):
-            self.router.on_recommendation(msg, msg.origin)
+        if isinstance(msg, (LinkStateMessage, RecommendationMessage)):
+            if self.router.view is None:
+                # Rebooting: bound to the transport but no view yet, so
+                # peers still routing on a view containing this node may
+                # message it. Unusable until a view arrives — drop.
+                self.router.dropped_stale_view += 1
+                return
+            if isinstance(msg, LinkStateMessage):
+                self.router.on_linkstate(msg, msg.origin)
+            else:
+                self.router.on_recommendation(msg, msg.origin)
         elif isinstance(msg, MembershipUpdate):
             self.on_view(MembershipView(version=msg.version, members=msg.members))
+        elif isinstance(msg, MembershipDelta):
+            self.on_view(
+                ViewDelta(
+                    from_version=msg.from_version,
+                    to_version=msg.to_version,
+                    joined=msg.joined,
+                    left=msg.left,
+                )
+            )
         # Probes are handled by the vectorized monitor fast path.
 
     def on_view(self, update: ViewUpdate) -> None:
-        """Membership callback: install a full view or apply a delta.
+        """Membership delivery: install a full view or apply a delta.
 
         A view that no longer contains this node means it was removed
         (leave or expiry); the node stops participating. A torn-down
         (crashed) node ignores pushes — it is off the network. Deltas
         chain off the currently held view; the quorum router applies
         them incrementally (grid resize + state remap) instead of
-        rebuilding from scratch.
+        rebuilding from scratch. In-band, an unappliable delta means an
+        earlier update was lost on the wire: the node immediately sends
+        a refresh whose version piggyback makes the coordinator re-send
+        the bridging update.
         """
         if not self._registered:
             return
+        current = self.router.view
         if isinstance(update, ViewDelta):
-            current = self.router.view
             if current is None or current.version != update.from_version:
                 self.dropped_unappliable_deltas += 1
+                self._request_view_repair()
                 return
             view = update.apply(current)
             if self.id not in view:
                 self.stop()
                 return
             self.router.on_view_delta(view, update)
+            self._repair_requested_from = None
+            self._maybe_start_on_view()
+            return
+        if current is not None and update.version <= current.version:
+            # A repair resend that raced regular publication; the held
+            # view is already at least this fresh — do not rebuild.
+            self.dropped_stale_full_views += 1
             return
         if self.id not in update:
+            if self._start_on_view is not None and not self._started:
+                # A pre-rejoin expulsion still in flight (the previous
+                # incarnation's "you are out"); the join's view — which
+                # contains this node — is right behind it. Stopping here
+                # would cancel the armed start and strand the node.
+                self.dropped_stale_full_views += 1
+                return
             self.stop()
             return
         self.router.on_view_change(update)
+        self._repair_requested_from = None
+        self._maybe_start_on_view()
+
+    # ------------------------------------------------------------------
+    # In-band membership client
+    # ------------------------------------------------------------------
+    def send_membership_refresh(self) -> None:
+        """Heartbeat the in-band coordinator, piggybacking the held view
+        version (0 = no view yet) so it can detect and repair gaps."""
+        if self.membership_addr is None:
+            return
+        version = self.router.view.version if self.router.view is not None else 0
+        self.transport.send(
+            self.id,
+            self.membership_addr,
+            MembershipRefresh(origin=self.id, view_version=version),
+        )
+
+    def _request_view_repair(self) -> None:
+        if self.membership_addr is None:
+            return
+        held = self.router.view.version if self.router.view is not None else 0
+        if self._repair_requested_from == held:
+            return  # one repair request per detected gap
+        self._repair_requested_from = held
+        self.send_membership_refresh()
+
+    def _on_router_version_gap(self) -> None:
+        """The router saw a routing message from a newer view: we are
+        behind (our update was lost); ask for repair without waiting for
+        the next heartbeat."""
+        if self._started:
+            self._request_view_repair()
 
     def _link_down(self, j: int) -> None:
         self.router.on_link_down(j)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -81,6 +81,21 @@ class RouterBase(abc.ABC):
         self.me_idx: int = -1
         self._timer = None
         self.dropped_stale_view = 0
+        #: Hook fired when a routing message from a *newer* view version
+        #: is dropped — evidence that this node missed a membership
+        #: update. With in-band (lossy) membership the node uses it to
+        #: request repair without waiting for the next heartbeat.
+        self.on_version_gap: Optional[Callable[[], None]] = None
+
+    def _note_dropped_message(self, msg_version: int) -> None:
+        """Account a routing message dropped for view reasons."""
+        self.dropped_stale_view += 1
+        if (
+            self.view is not None
+            and msg_version > self.view.version
+            and self.on_version_gap is not None
+        ):
+            self.on_version_gap()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -99,6 +114,13 @@ class RouterBase(abc.ABC):
         if self._timer is not None:
             self._timer.stop()
             self._timer = None
+
+    def forget_view(self) -> None:
+        """Drop the held view (node reboot): a rebooted incarnation must
+        not chain deltas off — or refuse reinstalls of — its previous
+        life's view. Routing state is rebuilt when the next view arrives."""
+        self.view = None
+        self.me_idx = -1
 
     def on_view_change(self, view: MembershipView) -> None:
         """Install a new membership view and rebuild routing state."""

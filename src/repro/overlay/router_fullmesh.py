@@ -60,7 +60,7 @@ class FullMeshRouter(RouterBase):
     def on_linkstate(self, msg: LinkStateMessage, src: int) -> None:
         view = self._require_view()
         if msg.view_version != view.version or src not in view:
-            self.dropped_stale_view += 1
+            self._note_dropped_message(msg.view_version)
             return
         self.table.update_row(
             view.index_of(src), msg.latency_ms, msg.alive, msg.loss, self.sim.now

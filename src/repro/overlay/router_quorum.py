@@ -344,7 +344,7 @@ class QuorumRouter(RouterBase):
     def on_linkstate(self, msg: LinkStateMessage, src: int) -> None:
         view = self._require_view()
         if msg.view_version != view.version or src not in view:
-            self.dropped_stale_view += 1
+            self._note_dropped_message(msg.view_version)
             return
         src_idx = view.index_of(src)
         self.table.update_row(src_idx, msg.latency_ms, msg.alive, msg.loss, self.sim.now)
@@ -358,7 +358,7 @@ class QuorumRouter(RouterBase):
     def on_recommendation(self, msg: RecommendationMessage, src: int) -> None:
         view = self._require_view()
         if msg.view_version != view.version or src not in view:
-            self.dropped_stale_view += 1
+            self._note_dropped_message(msg.view_version)
             return
         src_idx = view.index_of(src)
         now = self.sim.now

@@ -24,6 +24,7 @@ from repro.errors import ConfigError
 from repro.net.packet import (
     KIND_LINKSTATE,
     KIND_MEMBERSHIP,
+    KIND_MEMBERSHIP_CTRL,
     KIND_PROBE,
     KIND_RECOMMENDATION,
 )
@@ -44,6 +45,9 @@ ROUTING_KINDS: Tuple[str, ...] = (KIND_LINKSTATE, KIND_RECOMMENDATION)
 #: Membership view-change traffic (full views and deltas). Kept out of
 #: ROUTING_KINDS so the §6 bandwidth figures stay exactly comparable to
 #: the paper's; the membership-scaling experiment queries it directly.
+#: Refresh heartbeats (``member-ctl``) are excluded on purpose: with
+#: in-band delivery the coordinator host receives every member's
+#: heartbeat, which would otherwise drown its view-update numbers.
 MEMBERSHIP_KINDS: Tuple[str, ...] = (KIND_MEMBERSHIP,)
 
 ALL_KINDS: Tuple[str, ...] = (
@@ -51,6 +55,7 @@ ALL_KINDS: Tuple[str, ...] = (
     KIND_LINKSTATE,
     KIND_RECOMMENDATION,
     KIND_MEMBERSHIP,
+    KIND_MEMBERSHIP_CTRL,
 )
 
 
@@ -79,6 +84,23 @@ class BandwidthRecorder:
 
     def _bucket(self, t: float) -> int:
         return int(t // self.bucket_s)
+
+    def grow_to(self, n: int) -> None:
+        """Grow the node axis so ids up to ``n - 1`` are recordable.
+
+        Flash-crowd joiners may carry ids beyond the population the
+        recorder was sized for; growing (rather than silently skipping
+        them) keeps per-member byte totals equal to the aggregate
+        counters. Existing counts are preserved; queries simply return
+        longer per-node arrays afterwards.
+        """
+        if n <= self.n:
+            return
+        for key, arr in list(self._bins.items()):
+            grown = np.zeros((n, arr.shape[1]), dtype=np.int64)
+            grown[: arr.shape[0]] = arr
+            self._bins[key] = grown
+        self.n = n
 
     def _array(self, direction: str, kind: str, bucket: int) -> np.ndarray:
         arr = self._bins.get((direction, kind))
@@ -293,7 +315,13 @@ class DisruptionRecorder:
       being measured mid-disruption, because an endpoint left or died,
       are censored rather than recorded);
     * **recovery times** — for a marked instant (a mass-failure event,
-      say), how long until availability first returns above a threshold.
+      say), how long until availability first returns above a threshold;
+    * **view divergence** — with in-band (lossy) membership delivery,
+      live nodes can transiently hold *different* view versions. The
+      recorder tracks maximal time windows during which more than one
+      version was held, and the routing disagreement inside them (the
+      fraction of measured pairs whose endpoints held different versions
+      and whose route was broken).
 
     Like the other recorders this one is passive and deterministic:
     identical event sequences produce byte-identical series.
@@ -309,11 +337,24 @@ class DisruptionRecorder:
         self._avail: List[float] = []
         self._measured_pairs: List[int] = []
         self._marks: List[Tuple[str, float]] = []
+        # View-divergence bookkeeping (in-band membership).
+        self._div_open_since: Optional[float] = None
+        self._div_windows: List[Tuple[float, float]] = []
+        self._div_samples = 0
+        self._view_samples = 0
+        self._div_pair_measured = 0
+        self._div_pair_broken = 0
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def sample(self, now: float, ok: np.ndarray, active: np.ndarray) -> None:
+    def sample(
+        self,
+        now: float,
+        ok: np.ndarray,
+        active: np.ndarray,
+        versions: Optional[np.ndarray] = None,
+    ) -> None:
         """Record one availability snapshot.
 
         Parameters
@@ -325,6 +366,11 @@ class DisruptionRecorder:
         active:
             ``(n,)`` boolean mask of nodes that are overlay members with
             running timers at ``now``.
+        versions:
+            Optional ``(n,)`` integer vector of each node's held
+            membership view version (``-1`` = no view / not live).
+            When provided, view-divergence windows and the routing
+            disagreement among divergent pairs are tracked too.
         """
         if ok.shape != (self.n, self.n) or active.shape != (self.n,):
             raise ConfigError(
@@ -333,6 +379,16 @@ class DisruptionRecorder:
             )
         measured = active[:, None] & active[None, :]
         np.fill_diagonal(measured, False)
+
+        if versions is not None:
+            self.sample_views(now, versions, active)
+            held = versions >= 0
+            differ = (versions[:, None] != versions[None, :]) & (
+                held[:, None] & held[None, :]
+            )
+            div_pairs = measured & differ
+            self._div_pair_measured += int(div_pairs.sum())
+            self._div_pair_broken += int((div_pairs & ~ok).sum())
 
         tracking = ~np.isnan(self._down_since)
         # Close disruptions that healed; censor ones whose pair vanished.
@@ -352,6 +408,36 @@ class DisruptionRecorder:
         self._avail.append(
             float(ok[measured].sum()) / pairs if pairs else 1.0
         )
+
+    def sample_views(
+        self, now: float, versions: np.ndarray, live: np.ndarray
+    ) -> None:
+        """Record one view-version snapshot (divergence tracking only).
+
+        Callable on its own for membership-layer experiments that never
+        compute a route matrix; :meth:`sample` delegates here when given
+        ``versions``. A sample is *divergent* when live nodes hold more
+        than one distinct version (nodes with no view yet, version
+        ``-1``, count as a version of their own: a joiner still waiting
+        for its first view genuinely disagrees with everyone).
+        """
+        versions = np.asarray(versions)
+        live = np.asarray(live, dtype=bool)
+        if versions.shape != (self.n,) or live.shape != (self.n,):
+            raise ConfigError(
+                f"expected versions and live of shape ({self.n},), "
+                f"got {versions.shape} and {live.shape}"
+            )
+        held = versions[live]
+        divergent = held.size > 1 and np.unique(held).size > 1
+        self._view_samples += 1
+        if divergent:
+            self._div_samples += 1
+            if self._div_open_since is None:
+                self._div_open_since = float(now)
+        elif self._div_open_since is not None:
+            self._div_windows.append((self._div_open_since, float(now)))
+            self._div_open_since = None
 
     def mark(self, label: str, now: float) -> None:
         """Tag an instant (e.g. the mass-failure time) for later queries."""
@@ -392,6 +478,44 @@ class DisruptionRecorder:
         """Lowest sampled availability in [t0, t1) (1.0 if no samples)."""
         vals = [a for t, a in zip(self._times, self._avail) if t0 <= t < t1]
         return min(vals) if vals else 1.0
+
+    def view_divergence_windows(self) -> List[Tuple[float, float]]:
+        """Closed ``[start, end)`` windows during which live nodes held
+        more than one view version (end = first re-converged sample)."""
+        return list(self._div_windows)
+
+    def open_divergence_since(self) -> Optional[float]:
+        """Start of a still-open divergence window, or None if the last
+        sample saw all live nodes on one version."""
+        return self._div_open_since
+
+    def view_divergence_summary(self) -> Dict[str, float]:
+        """The divergence quantities the in-band experiments report.
+
+        ``windows`` / ``total_s`` / ``max_s`` describe closed divergence
+        windows; ``open`` flags a window still unresolved at the last
+        sample; ``divergent_sample_frac`` is the fraction of view
+        samples taken mid-divergence; ``disagreement`` is the fraction
+        of measured divergent-version pairs whose route was broken
+        (``nan`` if no such pair was ever sampled).
+        """
+        durations = [e - s for s, e in self._div_windows]
+        return {
+            "windows": float(len(self._div_windows)),
+            "total_s": float(sum(durations)),
+            "max_s": float(max(durations)) if durations else 0.0,
+            "open": float(self._div_open_since is not None),
+            "divergent_sample_frac": (
+                self._div_samples / self._view_samples
+                if self._view_samples
+                else 0.0
+            ),
+            "disagreement": (
+                self._div_pair_broken / self._div_pair_measured
+                if self._div_pair_measured
+                else math.nan
+            ),
+        }
 
     def recovery_time_after(
         self, t_event: float, threshold: float = 1.0

@@ -45,12 +45,14 @@ __all__ = [
     "NODE_ID_BYTES",
     "VIEW_VERSION_BYTES",
     "DELTA_COUNT_BYTES",
+    "MEMBERSHIP_REFRESH_BYTES",
     "LATENCY_DEAD",
     "MAX_ENCODABLE_LATENCY_MS",
     "linkstate_message_bytes",
     "recommendation_message_bytes",
     "membership_message_bytes",
     "membership_delta_message_bytes",
+    "membership_refresh_message_bytes",
     "encode_linkstate",
     "decode_linkstate",
     "encode_recommendations",
@@ -95,6 +97,11 @@ VIEW_VERSION_BYTES = 4
 #: A membership delta carries 2-byte joined/left counts.
 DELTA_COUNT_BYTES = 2
 
+#: An in-band membership refresh is a bare header plus the sender's held
+#: view version — the piggyback the coordinator uses to detect version
+#: gaps left by lost view updates.
+MEMBERSHIP_REFRESH_BYTES = HEADER_BYTES + VIEW_VERSION_BYTES
+
 #: Wire sentinel for a dead/unreachable destination.
 LATENCY_DEAD = 0xFFFF
 
@@ -133,6 +140,10 @@ def membership_delta_message_bytes(joined: int, left: int) -> int:
         + 2 * DELTA_COUNT_BYTES
         + NODE_ID_BYTES * (joined + left)
     )
+
+def membership_refresh_message_bytes() -> int:
+    """Wire size of a membership refresh (heartbeat + version piggyback)."""
+    return MEMBERSHIP_REFRESH_BYTES
 
 
 # ----------------------------------------------------------------------

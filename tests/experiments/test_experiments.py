@@ -267,3 +267,27 @@ class TestChurnExperiments:
             assert s.num_joins == 5
             assert s.recovery_s is not None  # newcomers became routable
         assert "Flash crowd" in result.format_table()
+
+    def test_in_band_churn_reconverges(self):
+        from repro.experiments.churn import run_in_band_churn
+
+        result = run_in_band_churn(n=20, duration_s=150.0, seed=1)
+        for mode in ("out-of-band", "in-band"):
+            stats, divergence = result.stats_for(mode)
+            assert 0.0 <= stats.min_availability <= stats.mean_availability <= 1.0
+            assert not divergence["open"]  # every divergence window closed
+        assert "in-band" in result.format_table()
+
+    def test_in_band_membership_converges_under_loss(self):
+        from repro.experiments.membership_scaling import (
+            churn_trace_for,
+            run_membership_in_band,
+        )
+
+        stats = run_membership_in_band(
+            churn_trace_for(128, duration_s=200.0, seed=7), loss=0.02, seed=7
+        )
+        assert stats.transport_dropped > 0  # the wire really dropped traffic
+        assert stats.repairs > 0  # ...and the reliability layer repaired it
+        assert stats.converged
+        assert not stats.div_open

@@ -31,6 +31,65 @@ def ls_msg(origin, n):
     )
 
 
+class TestEndpoints:
+    """Service endpoints co-located at a host node (in-band membership)."""
+
+    def test_endpoint_traffic_uses_host_links(self):
+        sim, topo, transport, bw = make_setup(rtt=100.0)
+        got = []
+        transport.register(2, lambda msg, src: got.append((sim.now, src)))
+        transport.register_endpoint(3, host=0, handler=lambda m, s: None)
+        transport.send(3, 2, ls_msg(3, 3))
+        sim.run()
+        # Delivered after the host<->node one-way delay, from address 3.
+        assert got == [(0.050, 3)]
+        # Bytes are accounted against the host node, not the address.
+        assert bw.bytes_per_node(directions=("out",))[0] > 0
+
+    def test_endpoint_receives_at_its_address(self):
+        sim, topo, transport, _ = make_setup()
+        got = []
+        transport.register_endpoint(3, host=1, handler=lambda m, s: got.append(s))
+        transport.send(0, 3, ls_msg(0, 3))
+        sim.run()
+        assert got == [0]
+
+    def test_endpoint_to_its_own_host_is_lossless(self):
+        loss = np.full((3, 3), 1.0)
+        np.fill_diagonal(loss, 0.0)
+        sim, topo, transport, _ = make_setup(loss=loss)
+        got = []
+        transport.register(0, lambda msg, src: got.append(src))
+        transport.register_endpoint(3, host=0, handler=lambda m, s: None)
+        assert transport.send(3, 0, ls_msg(3, 3))  # same machine: no wire
+        sim.run()
+        assert got == [3]
+
+    def test_endpoint_can_reregister_after_outage(self):
+        sim, topo, transport, _ = make_setup()
+        got = []
+        transport.register_endpoint(3, host=0, handler=lambda m, s: got.append(s))
+        transport.unregister(3)
+        transport.send(1, 3, ls_msg(1, 3))
+        sim.run()
+        assert got == []  # dropped during the outage window
+        transport.register(3, lambda m, s: got.append(s))
+        transport.send(1, 3, ls_msg(1, 3))
+        sim.run()
+        assert got == [1]
+
+    def test_bad_host_rejected(self):
+        sim, topo, transport, _ = make_setup()
+        with pytest.raises(SimulationError):
+            transport.register_endpoint(9, host=7, handler=lambda m, s: None)
+
+    def test_colliding_address_rejected(self):
+        sim, topo, transport, _ = make_setup()
+        transport.register(1, lambda m, s: None)
+        with pytest.raises(SimulationError):
+            transport.register_endpoint(1, host=0, handler=lambda m, s: None)
+
+
 class TestDelivery:
     def test_message_arrives_after_one_way_delay(self):
         sim, topo, transport, _ = make_setup(rtt=100.0)

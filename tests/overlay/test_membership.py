@@ -5,6 +5,7 @@ import pytest
 from repro.errors import MembershipError
 from repro.net.simulator import Simulator
 from repro.overlay.membership import MembershipService, MembershipView
+from repro.overlay.stats import MEMBERSHIP_KINDS, BandwidthRecorder
 
 
 class TestMembershipView:
@@ -162,6 +163,51 @@ class TestMembershipService:
         assert svc.view.version > v1
 
 
+class TestFlashCrowdAccounting:
+    """Regression: ``_account`` used to skip byte accounting silently for
+    members with id >= the recorder's population, so flash-crowd joiners
+    beyond the initial n were undercounted."""
+
+    def _stats_bytes(self, svc):
+        return (
+            svc.stats.get("view_full_bytes")
+            + svc.stats.get("view_delta_bytes")
+            + svc.stats.get("parting_notice_bytes")
+        )
+
+    @pytest.mark.parametrize("deltas", [False, True])
+    def test_joiners_beyond_recorder_population_are_accounted(self, deltas):
+        sim = Simulator()
+        recorder = BandwidthRecorder(4)
+        svc = MembershipService(sim, deltas=deltas, bandwidth=recorder)
+        svc.bootstrap({i: (lambda v: None) for i in range(4)})
+        # A flash crowd of joiners with ids beyond the initial population.
+        for m in range(4, 10):
+            svc.join(m, lambda v: None)
+        sim.run_until(5.0)
+        assert recorder.n == 10  # grew to cover the newcomers
+        per_member = recorder.bytes_per_node(MEMBERSHIP_KINDS, directions=("in",))
+        assert per_member[4:].sum() > 0  # the joiners' updates are counted
+        # Per-member totals equal the aggregate counters exactly: no
+        # update escaped the recorder.
+        assert per_member.sum() == self._stats_bytes(svc)
+
+    def test_expiry_of_out_of_range_member_is_accounted(self):
+        sim = Simulator()
+        recorder = BandwidthRecorder(2)
+        svc = MembershipService(
+            sim, timeout_s=50.0, expiry_check_s=10.0, bandwidth=recorder
+        )
+        svc.bootstrap({0: lambda v: None, 1: lambda v: None})
+        svc.join(7, lambda v: None)  # beyond the recorder's population
+        sim.periodic(20.0, lambda: [svc.refresh(0), svc.refresh(1)], phase=20.0)
+        sim.run_until(200.0)  # 7 goes silent and expires
+        assert not svc.is_member(7)
+        assert svc.stats.get("parting_notices") == 1
+        per_member = recorder.bytes_per_node(MEMBERSHIP_KINDS, directions=("in",))
+        assert per_member.sum() == self._stats_bytes(svc)
+
+
 class TestRefreshExpiry:
     """Regression tests for refresh() and _expire_stale timing."""
 
@@ -216,6 +262,10 @@ class TestRefreshExpiry:
         assert versions == [v0 + 1]
 
     def test_expired_node_is_notified_of_its_removal(self):
+        # Regression (false-expiry blind spot): the expired member used
+        # to be dropped from the subscriber dict *before* the eviction
+        # was published, so a live-but-slow-refreshing node never
+        # learned it left the view and kept routing on a stale grid.
         sim = Simulator()
         svc = MembershipService(sim, timeout_s=100.0, expiry_check_s=10.0)
         got = {}
@@ -228,10 +278,38 @@ class TestRefreshExpiry:
         sim.periodic(50.0, lambda: svc.refresh(1), phase=50.0)
         sim.run_until(300.0)
         assert not svc.is_member(2)
-        # The survivor heard about the removal; 2 was dropped from the
-        # subscriber list before notification went out.
+        # The survivor heard about the removal...
         assert got[1].members == (1,)
-        assert 2 in got[2].members  # 2's last view predates its expiry
+        # ...and so did the expired member itself: its final update is
+        # the view that excludes it ("you are out").
+        assert got[2].members == (1,)
+        assert 2 not in got[2].members
+        assert svc.stats.get("parting_notices") == 1
+
+    def test_expired_node_rejoining_in_same_batch_gets_no_parting_notice(self):
+        # A member that expires and re-joins before the batched eviction
+        # publishes must not receive a stale "you are out" view.
+        sim = Simulator()
+        svc = MembershipService(
+            sim,
+            timeout_s=100.0,
+            expiry_check_s=10.0,
+            notify_batch_s=30.0,
+        )
+        got = {1: [], 2: []}
+        svc.bootstrap({1: got[1].append, 2: got[2].append})
+        # 2 goes silent and expires...
+        sim.periodic(50.0, lambda: svc.refresh(1), phase=50.0)
+        sim.run_until(115.0)
+        assert not svc.is_member(2)
+        # ...but re-joins before the batching window flushes (and
+        # heartbeats from then on).
+        svc.join(2, got[2].append)
+        sim.periodic(50.0, lambda: svc.refresh(2), phase=50.0)
+        sim.run_until(300.0)
+        assert svc.view.members == (1, 2)
+        assert svc.stats.get("parting_notices") == 0
+        assert all(2 in v.members for v in got[2])
 
     def test_rejoin_after_expiry_is_allowed(self):
         sim = Simulator()

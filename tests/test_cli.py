@@ -31,6 +31,11 @@ class TestParser:
         )
         assert args.n == 36 and args.duration == 60.0 and args.seed == 7
 
+    def test_in_band_flag(self):
+        args = build_parser().parse_args(["membership", "--in-band", "--smoke"])
+        assert args.in_band and args.smoke
+        assert not build_parser().parse_args(["membership"]).in_band
+
 
 class TestCommands:
     def test_capacity_prints_headlines(self, capsys):
