@@ -3,17 +3,30 @@
 Unlike the figure benchmarks (single-shot reproductions), these use
 pytest-benchmark's statistical timing to watch for performance
 regressions in the pieces that dominate simulation time: the event
-loop, the one-hop min-plus kernel, grid construction, and a full
-two-round protocol execution.
+loop, the one-hop min-plus kernel, grid construction, a full two-round
+protocol execution, and (since PR 4) the sparse link-state store, the
+bulk route kernel, and the full-overlay memory envelope.
+
+CI runs this file with ``--benchmark-disable`` (check mode): every
+benchmark body executes once as a plain test, so the regression
+*guards* (assertions on memory bounds and routability) gate merges
+while the statistical timings remain a local/bench-host tool.
 """
 
+import math
+
 import numpy as np
+import pytest
 
 from repro.core.grid import GridQuorum
 from repro.core.onehop import best_one_hop_all_pairs
 from repro.core.protocol import run_two_round
 from repro.core.quorum import GridQuorumSystem
 from repro.net.simulator import Simulator
+from repro.net.trace import uniform_random_metric
+from repro.overlay.config import RouterKind
+from repro.overlay.harness import build_overlay
+from repro.overlay.linkstate import SparseLinkStateTable
 
 
 def test_perf_simulator_event_loop(benchmark):
@@ -64,3 +77,89 @@ def test_perf_two_round_protocol_144(benchmark):
 
     result = benchmark(run_two_round, w, quorum)
     assert result.coverage_fraction() == 1.0
+
+
+# ----------------------------------------------------------------------
+# PR 4: sparse storage, bulk route kernel, and scale regression guards
+# ----------------------------------------------------------------------
+def _filled_sparse_table(n, rows, seed=0):
+    table = SparseLinkStateTable(n, capacity_hint=rows)
+    rng = np.random.default_rng(seed)
+    alive = np.ones(n, dtype=bool)
+    held = rng.choice(n, size=rows, replace=False)
+    for idx in held:
+        latency = rng.uniform(5.0, 400.0, n)
+        latency[idx] = 0.0
+        table.update_row(int(idx), latency, alive, np.zeros(n), 0.0)
+    return table, np.sort(held)
+
+
+def test_perf_sparse_update_and_minplus_2048(benchmark):
+    """One routing tick's table work at n=2048: a row install plus the
+    full min-plus over the ~2 sqrt(n) held cost rows."""
+    n = 2048
+    table, held = _filled_sparse_table(n, rows=2 * math.isqrt(n))
+    rng = np.random.default_rng(1)
+    fresh_latency = rng.uniform(5.0, 400.0, n)
+    alive = np.ones(n, dtype=bool)
+    zeros = np.zeros(n)
+
+    def tick():
+        table.update_row(int(held[0]), fresh_latency, alive, zeros, 1.0)
+        rows = table.cost_matrix(held)
+        best = 0
+        for i in range(rows.shape[0] - 1):
+            totals = rows[i][None, :] + rows[i + 1 :]
+            best += int(np.argmin(totals, axis=1)[0])
+        return best
+
+    benchmark(tick)
+    assert table.held_rows == held.size
+
+
+@pytest.fixture(scope="module")
+def routed_overlay_100():
+    """A converged n=100 quorum overlay shared by the route benchmarks."""
+    rng = np.random.default_rng(12)
+    ov = build_overlay(
+        trace=uniform_random_metric(100, rng),
+        router=RouterKind.QUORUM,
+        rng=rng,
+        with_freshness=False,
+    )
+    ov.run(120.0)
+    return ov
+
+
+def test_perf_route_vector_100(benchmark, routed_overlay_100):
+    """The bulk route kernel (all destinations, one node)."""
+    router = routed_overlay_100.nodes[0].router
+    hops, usable = benchmark(router.route_vector)
+    assert usable.sum() >= 95  # converged overlay routes nearly all pairs
+
+
+def test_perf_route_ok_matrix_100(benchmark, routed_overlay_100):
+    """One ground-truth availability sample (the churn workloads take
+    one of these every 5 simulated seconds)."""
+    ok, mask = benchmark(routed_overlay_100.route_ok_matrix)
+    assert mask.all()
+    frac = ok.sum() / (mask.sum() * (mask.sum() - 1))
+    assert frac > 0.95
+
+
+def test_overlay_linkstate_memory_is_subquadratic_1024():
+    """Regression guard for the PR-4 acceptance bar: a full quorum
+    overlay at n=1024 keeps every node's link-state store at
+    O(n * sqrt(n)) bytes — far below the dense n^2 footprint that made
+    n >= 2048 uninstantiable before."""
+    from repro.experiments.perf_scaling import run_overlay_at_scale
+
+    stats = run_overlay_at_scale(1024, duration_s=45.0, seed=42)
+    n = stats.n
+    # Dense would be ~17 MB/node; the sparse store must stay an order
+    # of magnitude below and inside the O(n^1.5) envelope.
+    assert stats.linkstate_bytes_max < stats.linkstate_bytes_dense / 8
+    assert stats.linkstate_bytes_max < 60 * n * math.isqrt(n) + 64 * n
+    # The overlay must actually have routed while doing so.
+    assert stats.route_usable_frac > 0.9
+    assert stats.transport_coalesced > 0

@@ -12,7 +12,7 @@ bandwidth lands slightly *below* theory for exactly this reason).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,9 +59,20 @@ class DatagramTransport:
         #: membership coordinator) get their own address but share their
         #: host's links, delays, and byte accounting.
         self._host_of: Dict[int, int] = {}
+        #: In-flight messages coalesced per (dst, arrival time): one
+        #: simulator event delivers the whole bucket, instead of one
+        #: heap entry per datagram. Messages append in send order and
+        #: deliver in that order, so any pre-existing delivery order is
+        #: preserved exactly (ties beyond a bucket share an arrival
+        #: instant only on exact float equality, which same-source
+        #: same-tick sends produce and distinct delays do not).
+        self._pending: Dict[Tuple[int, float], List[Tuple[int, Message, int]]] = {}
         self.sent_count = 0
         self.dropped_count = 0
         self.delivered_count = 0
+        #: Diagnostic: datagrams that shared a delivery event with an
+        #: earlier one (no heap entry of their own).
+        self.coalesced_count = 0
 
     @property
     def topology(self) -> Topology:
@@ -150,16 +161,35 @@ class DatagramTransport:
             self.dropped_count += 1
             return False
 
-        delay = self._topology.one_way_delay_s(src_u, dst_u)
-        self._sim.schedule(delay, self._deliver, src, dst, msg, size)
+        # Loss is drawn above, at send time and in send order, so
+        # coalescing deliveries cannot perturb the RNG stream.
+        arrival = now + self._topology.one_way_delay_s(src_u, dst_u)
+        key = (dst, arrival)
+        bucket = self._pending.get(key)
+        if bucket is None:
+            self._pending[key] = bucket = []
+            self._sim.schedule_at(arrival, self._deliver_bucket, dst, arrival)
+        else:
+            self.coalesced_count += 1
+        bucket.append((src, msg, size))
         return True
 
-    def _deliver(self, src: int, dst: int, msg: Message, size: int) -> None:
-        handler = self._handlers.get(dst)
-        if handler is None:
-            self.dropped_count += 1
-            return
-        if self._bandwidth is not None:
-            self._bandwidth.record_in(self._underlay(dst), msg.kind, size, self._sim.now)
-        self.delivered_count += 1
-        handler(msg, src)
+    def _deliver_bucket(self, dst: int, arrival: float) -> None:
+        """Deliver every message that arrives at ``dst`` at ``arrival``.
+
+        The handler is re-resolved per message: delivering one message
+        may tear the destination down (or re-register it), and later
+        messages in the bucket must see that, exactly as they would
+        have with one event each.
+        """
+        batch = self._pending.pop((dst, arrival))
+        now = self._sim.now
+        for src, msg, size in batch:
+            handler = self._handlers.get(dst)
+            if handler is None:
+                self.dropped_count += 1
+                continue
+            if self._bandwidth is not None:
+                self._bandwidth.record_in(self._underlay(dst), msg.kind, size, now)
+            self.delivered_count += 1
+            handler(msg, src)

@@ -251,12 +251,11 @@ class Overlay:
             view = node.router.view
             if view is None or not node.started:
                 continue
-            members = view.members
-            for d_idx, d_id in enumerate(members):
-                if d_id == node.id:
-                    continue
-                route = node.router.route_to(d_idx)
-                hops[node.id, d_id] = members[route.hop] if route.hop >= 0 else -1
+            members = node.router.member_ids
+            hops_v, _ = node.router.route_vector()
+            hops[node.id, members] = np.where(
+                hops_v >= 0, members[np.clip(hops_v, 0, None)], -1
+            )
         return hops
 
     def started_mask(self) -> np.ndarray:
@@ -282,24 +281,28 @@ class Overlay:
         t = self.sim.now
         mask = self.started_mask()
         ok = np.zeros((self.n, self.n), dtype=bool)
-        ids = [int(i) for i in np.nonzero(mask)[0]]
-        up = {i: self.topology.up_vector(i, t) for i in ids}
+        ids = np.nonzero(mask)[0]
+        # Ground-truth link state, one row per measurable node. Rows of
+        # non-measured nodes stay False; they are only read behind a
+        # mask[hop] guard, which already rejects such hops.
+        up = np.zeros((self.n, self.n), dtype=bool)
+        for i in ids:
+            up[i] = self.topology.up_vector(int(i), t)
         for s in ids:
+            s = int(s)
             node = self.nodes[s]
-            view = node.router.view
-            for d in ids:
-                if d == s or d not in view:
-                    continue
-                route = node.router.route_to(view.index_of(d))
-                if not route.usable:
-                    continue
-                hop = int(view.members[route.hop])
-                if hop == d or hop == s:
-                    ok[s, d] = bool(up[s][d])
-                else:
-                    ok[s, d] = (
-                        bool(mask[hop]) and bool(up[s][hop]) and bool(up[hop][d])
-                    )
+            members = node.router.member_ids
+            hops_v, usable_v = node.router.route_vector()
+            sel = usable_v & mask[members]
+            sel[node.router.me_idx] = False
+            dsts = members[sel]
+            hop_ids = members[hops_v[sel]]
+            direct = (hop_ids == dsts) | (hop_ids == s)
+            ok[s, dsts] = np.where(
+                direct,
+                up[s, dsts],
+                mask[hop_ids] & up[s, hop_ids] & up[hop_ids, dsts],
+            )
         return ok, mask
 
     def double_failure_counts(self, proximal_only: bool = True) -> np.ndarray:

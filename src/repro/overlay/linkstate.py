@@ -6,17 +6,51 @@ via table exchanges (all rows in the full-mesh system; the rendezvous
 clients' rows in the quorum system). Row receive-times are tracked so the
 rendezvous can honor the "use measurements from the last 3 routing
 intervals" rule (§6.2.2) and so stale rows age out.
+
+Two implementations share one API:
+
+* :class:`LinkStateTable` — dense ``(n, n)`` arrays. The full-mesh
+  router really does hold every row, so dense storage is the right
+  shape for it (and for the unit tests that poke raw arrays).
+* :class:`SparseLinkStateTable` — a row-sparse store for the quorum
+  router: only rows actually received occupy memory, packed in a
+  ``(capacity, n)`` buffer with an index map. A quorum node holds
+  ~``2 sqrt(n)`` client rows, so its table costs O(n^1.5) instead of
+  the O(n^2) a dense table would — which is the whole point of the
+  paper's design and what lets a full-overlay emulation reach n=4096.
+
+Both tables also memoize *effective cost rows* (:meth:`cost_row` and
+friends): the additive path-cost vectors the routing kernels consume.
+A row's cached costs are invalidated by :meth:`update_row` (tracked via
+``row_version``), so the per-tick recommendation and fallback kernels
+never recompute a cost row whose underlying link state did not change.
+Cached cost arrays are returned without copying — callers must treat
+them as read-only.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import math
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import RoutingError
 
-__all__ = ["LinkStateTable"]
+__all__ = ["LinkStateTable", "SparseLinkStateTable"]
+
+
+def _resolve_metric(metric):
+    """Default a ``None`` metric to LATENCY (deferred import)."""
+    from repro.core.metrics import PathMetric
+
+    return PathMetric.LATENCY if metric is None else metric
+
+
+def _is_latency(metric) -> bool:
+    from repro.core.metrics import PathMetric
+
+    return metric is None or metric is PathMetric.LATENCY
 
 
 class LinkStateTable:
@@ -34,6 +68,12 @@ class LinkStateTable:
         self.alive = np.zeros((n, n), dtype=bool)
         self.loss = np.zeros((n, n), dtype=np.float64)
         self.row_time = np.full(n, -np.inf, dtype=np.float64)
+        #: Bumped on every :meth:`update_row`; the cost-row cache uses it
+        #: to detect staleness without comparing row contents.
+        self.row_version = np.zeros(n, dtype=np.int64)
+        self._cost: Optional[np.ndarray] = None
+        self._cost_version: Optional[np.ndarray] = None
+        self._cost_key: Optional[Tuple] = None
 
     def update_row(
         self,
@@ -57,6 +97,16 @@ class LinkStateTable:
         self.latency_ms[idx] = latency_ms
         self.alive[idx] = alive
         self.loss[idx] = loss
+        self.row_time[idx] = now
+        self.row_version[idx] += 1
+
+    def touch_row(self, idx: int, now: float) -> None:
+        """Refresh row ``idx``'s receive time without changing contents.
+
+        Routers use this when re-installing a row whose payload is
+        known unchanged (same simulation instant, same monitor state):
+        the freshness clock advances but cached cost rows stay valid.
+        """
         self.row_time[idx] = now
 
     def row_age(self, idx: int, now: float) -> float:
@@ -124,3 +174,429 @@ class LinkStateTable:
         if fresh.size == 0:
             return False
         return bool(self.alive[fresh, dst].any())
+
+    # ------------------------------------------------------------------
+    # Cached cost rows (routing kernels)
+    # ------------------------------------------------------------------
+    def _ensure_cost(self, indices: np.ndarray, metric, loss_penalty_ms: float) -> None:
+        key = (_resolve_metric(metric), float(loss_penalty_ms))
+        if self._cost is None or self._cost_key != key:
+            self._cost = np.empty((self.n, self.n), dtype=np.float64)
+            self._cost_version = np.full(self.n, -1, dtype=np.int64)
+            self._cost_key = key
+        stale = indices[self._cost_version[indices] != self.row_version[indices]]
+        for idx in stale:
+            idx = int(idx)
+            self._cost[idx] = self.effective_cost(idx, metric, loss_penalty_ms)
+            self._cost_version[idx] = self.row_version[idx]
+
+    def cost_row(self, idx: int, metric=None, loss_penalty_ms: float = 1000.0) -> np.ndarray:
+        """Cached :meth:`effective_cost` row. READ-ONLY — do not mutate."""
+        self._ensure_cost(np.array([idx]), metric, loss_penalty_ms)
+        return self._cost[idx]
+
+    def cost_matrix(
+        self, indices: np.ndarray, metric=None, loss_penalty_ms: float = 1000.0
+    ) -> np.ndarray:
+        """Cost rows for ``indices`` stacked as a ``(k, n)`` matrix."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self._ensure_cost(indices, metric, loss_penalty_ms)
+        return self._cost[indices]
+
+    def cost_gather(
+        self, indices: np.ndarray, dst: int, metric=None, loss_penalty_ms: float = 1000.0
+    ) -> np.ndarray:
+        """``cost_row(i)[dst]`` for each ``i`` in ``indices`` (vector)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self._ensure_cost(indices, metric, loss_penalty_ms)
+        return self._cost[indices, dst]
+
+    def cost_points(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        metric=None,
+        loss_penalty_ms: float = 1000.0,
+    ) -> np.ndarray:
+        """``cost_row(rows[i])[cols[i]]`` for each i (paired gather)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        self._ensure_cost(rows, metric, loss_penalty_ms)
+        return self._cost[rows, cols]
+
+    def latency_leg(self, indices: np.ndarray, dst: int) -> np.ndarray:
+        """``effective_latency(i)[dst]`` for each ``i`` (vector)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        leg = np.where(
+            self.alive[indices, dst], self.latency_ms[indices, dst], np.inf
+        )
+        leg[indices == dst] = 0.0
+        return leg
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def held_rows(self) -> int:
+        """Rows ever received (dense tables count updated rows)."""
+        return int(np.isfinite(self.row_time).sum())
+
+    def remap(
+        self, survivors_old: np.ndarray, survivors_new: np.ndarray, n_new: int
+    ) -> "LinkStateTable":
+        """A new table over ``n_new`` view slots with surviving members'
+        rows/columns carried over (membership delta application)."""
+        new = LinkStateTable(n_new)
+        if survivors_old.size:
+            keep_new = np.ix_(survivors_new, survivors_new)
+            keep_old = np.ix_(survivors_old, survivors_old)
+            new.latency_ms[keep_new] = self.latency_ms[keep_old]
+            new.alive[keep_new] = self.alive[keep_old]
+            new.loss[keep_new] = self.loss[keep_old]
+            new.row_time[survivors_new] = self.row_time[survivors_old]
+        return new
+
+    def nbytes(self) -> int:
+        """Memory footprint of the link-state buffers (cache included)."""
+        total = (
+            self.latency_ms.nbytes
+            + self.alive.nbytes
+            + self.loss.nbytes
+            + self.row_time.nbytes
+            + self.row_version.nbytes
+        )
+        if self._cost is not None:
+            total += self._cost.nbytes + self._cost_version.nbytes
+        return total
+
+
+class SparseLinkStateTable:
+    """Row-sparse link-state store with the :class:`LinkStateTable` API.
+
+    Held rows are packed into ``(capacity, n)`` buffers; ``row_time``
+    and ``row_version`` stay dense ``(n,)`` vectors so freshness
+    queries are identical to the dense table's. Latency rows are stored
+    in *effective* form — dead entries forced to ``inf`` and the
+    diagonal to ``0.0``, which :meth:`update_row`'s contract already
+    guarantees of its inputs — so under the LATENCY metric the packed
+    buffer doubles as the cost-row cache with zero extra memory.
+
+    Parameters
+    ----------
+    n:
+        View size (column count).
+    capacity_hint:
+        Expected number of held rows (a quorum node's ~``2 sqrt(n)``
+        clients). The buffer grows geometrically beyond it if needed.
+    store_loss:
+        When False, loss rows are dropped on update (the LATENCY metric
+        never reads them) and loss-based cost metrics raise — this
+        halves the table's float storage for the paper-default runs.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        capacity_hint: Optional[int] = None,
+        store_loss: bool = True,
+    ):
+        if n <= 0:
+            raise RoutingError("table size must be positive")
+        self.n = n
+        if capacity_hint is None:
+            capacity_hint = 2 * math.isqrt(n) + 4
+        cap = max(1, min(n, int(capacity_hint)))
+        self.row_time = np.full(n, -np.inf, dtype=np.float64)
+        self.row_version = np.zeros(n, dtype=np.int64)
+        self._slot_of = np.full(n, -1, dtype=np.int64)
+        self._idx_of = np.full(cap, -1, dtype=np.int64)
+        self._used = 0
+        self._latency = np.full((cap, n), np.inf, dtype=np.float64)
+        self._alive = np.zeros((cap, n), dtype=bool)
+        self._store_loss = store_loss
+        self._loss = np.zeros((cap, n), dtype=np.float64) if store_loss else None
+        # Non-latency cost cache (lazily allocated, slot-aligned).
+        self._cost: Optional[np.ndarray] = None
+        self._cost_version: Optional[np.ndarray] = None
+        self._cost_key: Optional[Tuple] = None
+
+    # ------------------------------------------------------------------
+    # Slot management
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._idx_of.shape[0]
+
+    @property
+    def held_rows(self) -> int:
+        """Number of rows currently stored."""
+        return self._used
+
+    def _grow(self, needed: int) -> None:
+        cap = self.capacity
+        new_cap = min(self.n, max(needed, cap + cap // 2 + 8))
+
+        def grown(arr: np.ndarray, fill) -> np.ndarray:
+            out = np.full((new_cap, *arr.shape[1:]), fill, dtype=arr.dtype)
+            out[:cap] = arr
+            return out
+
+        self._idx_of = grown(self._idx_of, -1)
+        self._latency = grown(self._latency, np.inf)
+        self._alive = grown(self._alive, False)
+        if self._loss is not None:
+            self._loss = grown(self._loss, 0.0)
+        if self._cost is not None:
+            self._cost = grown(self._cost, np.inf)
+            self._cost_version = grown(self._cost_version, -1)
+
+    def _slot_for(self, idx: int) -> int:
+        slot = int(self._slot_of[idx])
+        if slot >= 0:
+            return slot
+        if self._used >= self.capacity:
+            self._grow(self._used + 1)
+        slot = self._used
+        self._used += 1
+        self._slot_of[idx] = slot
+        self._idx_of[slot] = idx
+        return slot
+
+    def _held_slots(self, indices: np.ndarray) -> np.ndarray:
+        slots = self._slot_of[indices]
+        if slots.size and slots.min() < 0:
+            missing = np.asarray(indices)[slots < 0]
+            raise RoutingError(f"rows never received: {missing.tolist()}")
+        return slots
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update_row(
+        self,
+        idx: int,
+        latency_ms: np.ndarray,
+        alive: np.ndarray,
+        loss: np.ndarray,
+        now: float,
+    ) -> None:
+        """Install a fresh link-state row for view position ``idx``.
+
+        Dead entries must already be ``inf`` in ``latency_ms`` (the
+        monitor and the wire decoder both guarantee this); the stored
+        row is normalized to effective form either way.
+        """
+        if not 0 <= idx < self.n:
+            raise RoutingError(f"row index {idx} out of range (n={self.n})")
+        if latency_ms.shape != (self.n,):
+            raise RoutingError(
+                f"row length {latency_ms.shape} does not match table n={self.n}"
+            )
+        slot = self._slot_for(idx)
+        row = self._latency[slot]
+        np.copyto(row, latency_ms)
+        row[~alive] = np.inf
+        row[idx] = 0.0
+        self._alive[slot] = alive
+        if self._loss is not None:
+            self._loss[slot] = loss
+        self.row_time[idx] = now
+        self.row_version[idx] += 1
+
+    def touch_row(self, idx: int, now: float) -> None:
+        """Refresh row ``idx``'s receive time without changing contents."""
+        self.row_time[idx] = now
+
+    # ------------------------------------------------------------------
+    # Queries (dense-equivalent semantics)
+    # ------------------------------------------------------------------
+    def row_age(self, idx: int, now: float) -> float:
+        """Seconds since row ``idx`` was updated (``inf`` if never)."""
+        return now - self.row_time[idx]
+
+    def fresh_rows(self, now: float, max_age: float) -> np.ndarray:
+        """Indices of rows updated within ``max_age`` seconds."""
+        return np.where(now - self.row_time <= max_age)[0]
+
+    def _absent_row(self, idx: int) -> np.ndarray:
+        row = np.full(self.n, np.inf)
+        row[idx] = 0.0
+        return row
+
+    def effective_latency(self, idx: int) -> np.ndarray:
+        """Row ``idx`` with dead links forced to ``inf`` (copy)."""
+        slot = int(self._slot_of[idx])
+        if slot < 0:
+            return self._absent_row(idx)
+        return self._latency[slot].copy()
+
+    def effective_cost(
+        self,
+        idx: int,
+        metric: "PathMetric" = None,
+        loss_penalty_ms: float = 1000.0,
+    ) -> np.ndarray:
+        """Row ``idx`` as additive path costs under the chosen metric.
+
+        Semantics identical to :meth:`LinkStateTable.effective_cost`.
+        """
+        from repro.core.metrics import (
+            PathMetric,
+            combine_latency_loss,
+            loss_to_cost,
+        )
+
+        if metric is None or metric is PathMetric.LATENCY:
+            return self.effective_latency(idx)
+        if self._loss is None:
+            raise RoutingError(
+                "this table was built with store_loss=False; "
+                "loss-based cost metrics are unavailable"
+            )
+        slot = int(self._slot_of[idx])
+        if slot < 0:
+            return self._absent_row(idx)
+        dead = ~self._alive[slot]
+        if metric is PathMetric.LOSS:
+            row = loss_to_cost(np.clip(self._loss[slot], 0.0, 1.0))
+        else:
+            row = combine_latency_loss(
+                self._latency[slot],
+                np.clip(self._loss[slot], 0.0, 1.0),
+                loss_penalty_ms=loss_penalty_ms,
+            )
+        row = np.asarray(row, dtype=float).copy()
+        row[dead] = np.inf
+        row[idx] = 0.0
+        return row
+
+    def sees_alive(self, dst: int, now: float, max_age: float) -> bool:
+        """Does any fresh row report ``dst`` reachable? (§4.1 death check)"""
+        fresh = self.fresh_rows(now, max_age)
+        fresh = fresh[fresh != dst]
+        if fresh.size == 0:
+            return False
+        # A row can be fresh yet hold no content (touched, never
+        # received); its dense counterpart is all-dead and cannot vouch.
+        slots = self._slot_of[fresh]
+        slots = slots[slots >= 0]
+        if slots.size == 0:
+            return False
+        return bool(self._alive[slots, dst].any())
+
+    # ------------------------------------------------------------------
+    # Cached cost rows (routing kernels)
+    # ------------------------------------------------------------------
+    def _ensure_cost(self, indices: np.ndarray, metric, loss_penalty_ms: float) -> np.ndarray:
+        """Validate cost rows for held ``indices``; return their slots."""
+        slots = self._held_slots(indices)
+        if _is_latency(metric):
+            return slots  # the packed latency buffer IS the cost cache
+        key = (_resolve_metric(metric), float(loss_penalty_ms))
+        if self._cost is None or self._cost_key != key:
+            self._cost = np.full((self.capacity, self.n), np.inf)
+            self._cost_version = np.full(self.capacity, -1, dtype=np.int64)
+            self._cost_key = key
+        stale = self._cost_version[slots] != self.row_version[indices]
+        for idx, slot in zip(np.asarray(indices)[stale], slots[stale]):
+            self._cost[slot] = self.effective_cost(int(idx), metric, loss_penalty_ms)
+            self._cost_version[slot] = self.row_version[idx]
+        return slots
+
+    def _cost_buffer(self, metric) -> np.ndarray:
+        return self._latency if _is_latency(metric) else self._cost
+
+    def cost_row(self, idx: int, metric=None, loss_penalty_ms: float = 1000.0) -> np.ndarray:
+        """Cached :meth:`effective_cost` row. READ-ONLY — do not mutate."""
+        if self._slot_of[idx] < 0:
+            return self._absent_row(idx)
+        slots = self._ensure_cost(np.array([idx]), metric, loss_penalty_ms)
+        return self._cost_buffer(metric)[slots[0]]
+
+    def cost_matrix(
+        self, indices: np.ndarray, metric=None, loss_penalty_ms: float = 1000.0
+    ) -> np.ndarray:
+        """Cost rows for held ``indices`` stacked as a ``(k, n)`` matrix."""
+        indices = np.asarray(indices, dtype=np.int64)
+        slots = self._ensure_cost(indices, metric, loss_penalty_ms)
+        return self._cost_buffer(metric)[slots]
+
+    def cost_gather(
+        self, indices: np.ndarray, dst: int, metric=None, loss_penalty_ms: float = 1000.0
+    ) -> np.ndarray:
+        """``cost_row(i)[dst]`` for each held ``i`` in ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        slots = self._ensure_cost(indices, metric, loss_penalty_ms)
+        return self._cost_buffer(metric)[slots, dst]
+
+    def cost_points(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        metric=None,
+        loss_penalty_ms: float = 1000.0,
+    ) -> np.ndarray:
+        """``cost_row(rows[i])[cols[i]]`` for each i (paired gather)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        slots = self._ensure_cost(rows, metric, loss_penalty_ms)
+        return self._cost_buffer(metric)[slots, np.asarray(cols, dtype=np.int64)]
+
+    def latency_leg(self, indices: np.ndarray, dst: int) -> np.ndarray:
+        """``effective_latency(i)[dst]`` for each held ``i`` (vector)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        slots = self._held_slots(indices)
+        # Stored rows are already in effective form (dead -> inf, diag 0).
+        return self._latency[slots, dst].copy()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def remap(
+        self, survivors_old: np.ndarray, survivors_new: np.ndarray, n_new: int
+    ) -> "SparseLinkStateTable":
+        """A new table over ``n_new`` view slots with surviving members'
+        rows/columns carried over (membership delta application)."""
+        new = SparseLinkStateTable(
+            n_new,
+            capacity_hint=max(self._used + 4, 2 * math.isqrt(n_new) + 4),
+            store_loss=self._store_loss,
+        )
+        survivors_old = np.asarray(survivors_old, dtype=np.int64)
+        survivors_new = np.asarray(survivors_new, dtype=np.int64)
+        col_map = np.full(self.n, -1, dtype=np.int64)
+        col_map[survivors_old] = survivors_new
+        # Receive times carry over for every survivor — including rows
+        # that were only ever touched, which hold no content slot.
+        new.row_time[survivors_new] = self.row_time[survivors_old]
+        for old_idx in np.nonzero(self._slot_of >= 0)[0]:
+            new_idx = int(col_map[old_idx])
+            if new_idx < 0:
+                continue  # row's owner departed
+            old_slot = int(self._slot_of[old_idx])
+            new_slot = new._slot_for(new_idx)
+            new._latency[new_slot][survivors_new] = self._latency[old_slot][
+                survivors_old
+            ]
+            new._alive[new_slot][survivors_new] = self._alive[old_slot][
+                survivors_old
+            ]
+            if self._loss is not None:
+                new._loss[new_slot][survivors_new] = self._loss[old_slot][
+                    survivors_old
+                ]
+        return new
+
+    def nbytes(self) -> int:
+        """Memory footprint of the link-state buffers (cache included)."""
+        total = (
+            self._latency.nbytes
+            + self._alive.nbytes
+            + self.row_time.nbytes
+            + self.row_version.nbytes
+            + self._slot_of.nbytes
+            + self._idx_of.nbytes
+        )
+        if self._loss is not None:
+            total += self._loss.nbytes
+        if self._cost is not None:
+            total += self._cost.nbytes + self._cost_version.nbytes
+        return total

@@ -85,6 +85,10 @@ class LinkMonitor:
         self.alive = np.ones(n, dtype=bool)
         self.loss_est = np.zeros(n)
         self.consecutive_losses = np.zeros(n, dtype=np.int64)
+        #: Bumped whenever row-visible state (RTT/liveness/loss
+        #: estimates) changes; routers use it to skip rebuilding their
+        #: own link-state row when nothing was measured in between.
+        self.version = 0
         #: peers currently in the rapid-reprobe state (first loss seen),
         #: mapped to the pending follow-up probe event (for cancellation).
         self._rapid_pending: Dict[int, object] = {}
@@ -133,6 +137,7 @@ class LinkMonitor:
         self.alive.fill(True)
         self.loss_est.fill(0.0)
         self.consecutive_losses.fill(0)
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Queries (used by routers)
@@ -228,6 +233,9 @@ class LinkMonitor:
         came_back = ok & ~self.alive
         self.consecutive_losses[ok] = 0
         self.alive[ok] = True
+        # All row-visible updates of this round are in; bump before the
+        # transition callbacks so their refreshes see current state.
+        self.version += 1
         for j in np.where(came_back)[0]:
             pending = self._rapid_pending.pop(int(j), None)
             if pending is not None:
@@ -250,6 +258,7 @@ class LinkMonitor:
                     pending.cancel()
                 if self.alive[j]:
                     self.alive[j] = False
+                    self.version += 1
                     if self.on_link_down is not None:
                         self.on_link_down(j)
             elif self.alive[j] and j not in self._rapid_pending:
@@ -292,6 +301,7 @@ class LinkMonitor:
             came_back = not self.alive[j]
             self.consecutive_losses[j] = 0
             self.alive[j] = True
+            self.version += 1
             if came_back and self.on_link_up is not None:
                 self.on_link_up(j)
             return

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -81,6 +81,9 @@ class RouterBase(abc.ABC):
         self.me_idx: int = -1
         self._timer = None
         self.dropped_stale_view = 0
+        #: Monitor state version the table's own row was last built from;
+        #: -1 forces a full refresh (set on every view install).
+        self._own_row_seen_version = -1
         #: Hook fired when a routing message from a *newer* view version
         #: is dropped — evidence that this node missed a membership
         #: update. With in-band (lossy) membership the node uses it to
@@ -130,7 +133,25 @@ class RouterBase(abc.ABC):
         # are underlay indices, so this maps view-indexed tables onto
         # the monitor's topology-indexed measurement arrays.
         self._member_ids = np.fromiter(view.members, dtype=np.int64)
+        self._own_row_seen_version = -1
         self._rebuild_for_view(view)
+
+    def _refresh_own_row(self) -> None:
+        """(Re)install this node's own measurement row in the table.
+
+        When the monitor reports no state change since the last install
+        (its ``version`` is unchanged), only the row's receive time is
+        touched: the contents would be byte-identical, and skipping the
+        copy keeps the cached cost row valid. The full-mesh router calls
+        this on every route query, so the skip is a hot-path win.
+        """
+        now = self.sim.now
+        if self.monitor.version == self._own_row_seen_version:
+            self.table.touch_row(self.me_idx, now)
+            return
+        latency, alive, loss = self.monitor_rows_for_view()
+        self.table.update_row(self.me_idx, latency, alive, loss, now)
+        self._own_row_seen_version = self.monitor.version
 
     def on_view_delta(self, view: MembershipView, delta: ViewDelta) -> None:
         """Install a view derived from a :class:`ViewDelta`.
@@ -145,6 +166,13 @@ class RouterBase(abc.ABC):
     # ------------------------------------------------------------------
     # View <-> underlay index projection helpers
     # ------------------------------------------------------------------
+    @property
+    def member_ids(self) -> np.ndarray:
+        """Underlay node id per view position (read-only; rebuilt on
+        every view install). Bulk consumers use this to project
+        view-indexed results onto stable underlay indices."""
+        return self._member_ids
+
     def monitor_rows_for_view(self) -> tuple:
         """This node's measurement row projected onto view positions."""
         return (
@@ -184,6 +212,25 @@ class RouterBase(abc.ABC):
     @abc.abstractmethod
     def route_to(self, dst_idx: int) -> Route:
         """Best currently-known route to view index ``dst_idx``."""
+
+    def route_vector(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All destinations' routes in one call: ``(hops, usable)``.
+
+        ``hops[d]`` equals ``route_to(d).hop`` and ``usable[d]`` equals
+        ``route_to(d).usable`` for every view index ``d``. The base
+        implementation is the literal per-destination loop; routers
+        override it with a vectorized kernel. Bulk consumers (the
+        ground-truth availability sampler, route-table dumps) use this
+        instead of ``n`` separate :meth:`route_to` calls.
+        """
+        view = self._require_view()
+        hops = np.full(view.n, -1, dtype=np.int64)
+        usable = np.zeros(view.n, dtype=bool)
+        for d in range(view.n):
+            route = self.route_to(d)
+            hops[d] = route.hop
+            usable[d] = route.usable
+        return hops, usable
 
     @abc.abstractmethod
     def last_rec_times(self) -> np.ndarray:

@@ -8,6 +8,8 @@ computes optimal one-hop routes locally. Per-node communication is
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.net.packet import LinkStateMessage, RecommendationMessage
@@ -30,12 +32,10 @@ class FullMeshRouter(RouterBase):
     kind = RouterKind.FULL_MESH
 
     def _rebuild_for_view(self, view: MembershipView) -> None:
+        # Every row really is held here, so dense storage is the right
+        # shape (the quorum router uses the row-sparse variant).
         self.table = LinkStateTable(view.n)
         self._refresh_own_row()
-
-    def _refresh_own_row(self) -> None:
-        latency, alive, loss = self.monitor_rows_for_view()
-        self.table.update_row(self.me_idx, latency, alive, loss, self.sim.now)
 
     # ------------------------------------------------------------------
     # Protocol
@@ -77,8 +77,7 @@ class FullMeshRouter(RouterBase):
     def route_to(self, dst_idx: int) -> Route:
         """Best one-hop route from the local full table."""
         self._refresh_own_row()
-        own = self.table.effective_latency(self.me_idx)
-        n = self.table.n
+        own = self.table.cost_row(self.me_idx)  # cached effective latency
         # cost via h: own[h] + L[h, dst]; rows never received are inf.
         hop_costs = own + np.where(
             self.table.alive[:, dst_idx], self.table.latency_ms[:, dst_idx], np.inf
@@ -92,6 +91,25 @@ class FullMeshRouter(RouterBase):
         age = self.sim.now - float(self.table.row_time[dst_idx])
         source = SOURCE_DIRECT if hop == dst_idx else SOURCE_LINKSTATE
         return Route(dst=dst_idx, hop=hop, cost_ms=cost, source=source, age_s=age)
+
+    def route_vector(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All destinations at once: one ``(n, n)`` min-plus instead of
+        ``n`` Python calls. Column ``d`` reproduces :meth:`route_to`'s
+        ``hop_costs`` exactly, so hops and usability are identical."""
+        self._require_view()
+        self._refresh_own_row()
+        n = self.table.n
+        own = self.table.cost_row(self.me_idx)
+        costs = own[:, None] + np.where(
+            self.table.alive, self.table.latency_ms, np.inf
+        )
+        costs[self.me_idx, :] = np.inf
+        idx = np.arange(n)
+        costs[idx, idx] = own  # the direct path per destination
+        hops = np.argmin(costs, axis=0)
+        best = costs[hops, idx]
+        usable = np.isfinite(best)
+        return np.where(usable, hops, -1).astype(np.int64), usable
 
     def last_rec_times(self) -> np.ndarray:
         """Freshness analogue for the baseline: link-state row ages."""

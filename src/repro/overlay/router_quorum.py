@@ -27,9 +27,10 @@ import numpy as np
 
 from repro.core.failover import FailoverConfig, FailoverManager, FailoverPoll
 from repro.core.grid import GridQuorum
+from repro.core.metrics import PathMetric
 from repro.net.packet import LinkStateMessage, RecommendationMessage, RelayEnvelope
 from repro.overlay.config import RouterKind
-from repro.overlay.linkstate import LinkStateTable
+from repro.overlay.linkstate import SparseLinkStateTable
 from repro.overlay.membership import MembershipView, ViewDelta
 from repro.overlay.router_base import (
     SOURCE_DIRECT,
@@ -56,7 +57,14 @@ class QuorumRouter(RouterBase):
         # The grid is built over view *indices* (0..n-1): members are
         # sorted and filled row-major, so index order == grid order.
         self.grid = GridQuorum(list(range(n)))
-        self.table = LinkStateTable(n)
+        # A quorum node holds only its ~2 sqrt(n) clients' rows, so the
+        # table is row-sparse: O(n^1.5) memory instead of O(n^2). Loss
+        # rows are only materialized when the cost metric reads them.
+        self.table = SparseLinkStateTable(
+            n,
+            capacity_hint=len(self.grid.servers(self.me_idx, include_self=False)) + 4,
+            store_loss=self.config.path_metric is not PathMetric.LATENCY,
+        )
         self.counters = CounterSet()
 
         if not hasattr(self, "_rng"):
@@ -127,15 +135,7 @@ class QuorumRouter(RouterBase):
         if self.config.membership_grid_checks:
             self.grid.assert_equals_fresh()
 
-        old_table = self.table
-        self.table = LinkStateTable(n)
-        if survivors_old.size:
-            keep_new = np.ix_(survivors_new, survivors_new)
-            keep_old = np.ix_(survivors_old, survivors_old)
-            self.table.latency_ms[keep_new] = old_table.latency_ms[keep_old]
-            self.table.alive[keep_new] = old_table.alive[keep_old]
-            self.table.loss[keep_new] = old_table.loss[keep_old]
-            self.table.row_time[survivors_new] = old_table.row_time[survivors_old]
+        self.table = self.table.remap(survivors_old, survivors_new, n)
 
         def scatter(arr: np.ndarray, fill: float) -> np.ndarray:
             out = np.full(n, fill, dtype=arr.dtype)
@@ -180,17 +180,21 @@ class QuorumRouter(RouterBase):
             for c, r in self._reply_relay.items()
             if old_to_new[c] >= 0 and old_to_new[r] >= 0
         }
+        self._own_row_seen_version = -1
         self._refresh_own_row()
 
-    def _refresh_own_row(self) -> None:
-        latency, alive, loss = self.monitor_rows_for_view()
-        self.table.update_row(self.me_idx, latency, alive, loss, self.sim.now)
-
     def _cost_row(self, idx: int) -> np.ndarray:
-        """A stored row as additive costs under the configured metric."""
-        return self.table.effective_cost(
+        """A stored row as additive costs under the configured metric.
+
+        Served from the table's cost-row cache; READ-ONLY.
+        """
+        return self.table.cost_row(
             idx, self.config.path_metric, self.config.loss_penalty_ms
         )
+
+    def _links_up_view_many(self, view_indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`link_up_view` over view indices."""
+        return self.monitor.alive[self._member_ids[view_indices]]
 
     # ------------------------------------------------------------------
     # Protocol: periodic tick
@@ -205,7 +209,8 @@ class QuorumRouter(RouterBase):
     def _server_indices(self) -> List[int]:
         """Default rendezvous servers plus adopted failover servers."""
         base = list(self.grid.servers(self.me_idx, include_self=False))
-        extras = [s for s in self._extra_servers if s not in set(base)]
+        base_set = set(base)
+        extras = [s for s in self._extra_servers if s not in base_set]
         return base + extras
 
     def _send_linkstate(self, server_indices: List[int]) -> None:
@@ -231,20 +236,20 @@ class QuorumRouter(RouterBase):
 
     def _pick_relay(self, server_idx: int) -> Optional[int]:
         """A reachable client whose table shows the server alive —
-        the footnote-8 temporary one-hop."""
+        the footnote-8 temporary one-hop. One min-plus over the packed
+        row buffer instead of a per-client Python loop."""
         fresh = self._fresh_client_indices()
-        best: Optional[int] = None
-        best_cost = np.inf
+        if fresh.size == 0:
+            return None
+        cand = fresh[(fresh != server_idx) & self._links_up_view_many(fresh)]
+        if cand.size == 0:
+            return None
         own = self.table.effective_latency(self.me_idx)
-        for c in fresh:
-            c = int(c)
-            if c == server_idx or not self.link_up_view(c):
-                continue
-            leg = self.table.effective_latency(c)[server_idx]
-            cost = own[c] + leg
-            if np.isfinite(cost) and cost < best_cost:
-                best, best_cost = c, cost
-        return best
+        cost = own[cand] + self.table.latency_leg(cand, server_idx)
+        pos = int(np.argmin(cost))
+        if not np.isfinite(cost[pos]):
+            return None
+        return int(cand[pos])
 
     def _send_via_relay(self, server_idx: int, msg: LinkStateMessage) -> None:
         view = self._require_view()
@@ -288,7 +293,7 @@ class QuorumRouter(RouterBase):
         # recommendable; unreachable ones are omitted (the §4.1 remote-
         # failure signal). Clients behind a relay (footnote 8) are not
         # recommendable as destinations but still *receive* messages.
-        reachable = np.array([self.link_up_view(int(c)) for c in fresh])
+        reachable = self._links_up_view_many(fresh)
         covered = fresh[reachable]
         relay_clients = [
             int(c)
@@ -297,46 +302,86 @@ class QuorumRouter(RouterBase):
         ]
         if covered.size < 1 or covered.size + len(relay_clients) < 2:
             return
-        recipients = [int(c) for c in covered] + relay_clients
-        rows_by_idx = {
-            int(c): self._cost_row(int(c)) for c in fresh
-        }
-        covered_rows = np.stack([rows_by_idx[int(c)] for c in covered])
-        covered_ids = [int(c) for c in covered]
+        metric = self.config.path_metric
+        penalty = self.config.loss_penalty_ms
+        covered_ids = covered.astype(np.int64)
+        covered_rows = self.table.cost_matrix(covered_ids, metric, penalty)
         now = self.sim.now
-        for a_idx in recipients:
-            totals = rows_by_idx[a_idx][None, :] + covered_rows  # (m, n)
+        # The best one-hop between clients a and b is symmetric (IEEE
+        # addition commutes, so argmin over row_a + row_b is identical
+        # either way): compute each unordered pair once — this halves
+        # the dominant min-plus work of the whole protocol.
+        m = covered_ids.size
+        pair_hop = np.zeros((m, m), dtype=np.int64)
+        pair_ok = np.zeros((m, m), dtype=bool)
+        for i in range(m - 1):
+            totals = covered_rows[i][None, :] + covered_rows[i + 1 :]
             best_h = np.argmin(totals, axis=1)
-            best_cost = totals[np.arange(len(covered_ids)), best_h]
-            entries: List[Tuple[int, int]] = []
-            for b_pos, b_idx in enumerate(covered_ids):
-                if b_idx == a_idx:
-                    continue
-                hop = int(best_h[b_pos])
-                if not np.isfinite(best_cost[b_pos]):
-                    continue  # no usable path between these clients
-                if hop == a_idx or hop == b_idx:
-                    hop = b_idx  # canonical "direct"
-                entries.append((b_idx, hop))
-            if not entries:
-                continue
-            msg = RecommendationMessage(
-                origin=self.me,
-                entries=entries,
-                view_version=view.version,
-                sent_at=now,
-                timestamped=self.config.timestamped_recommendations,
+            best_cost = totals[np.arange(m - 1 - i), best_h]
+            finite = np.isfinite(best_cost)
+            pair_hop[i, i + 1 :] = best_h
+            pair_hop[i + 1 :, i] = best_h
+            pair_ok[i, i + 1 :] = finite
+            pair_ok[i + 1 :, i] = finite
+        for a_pos, a_idx in enumerate(covered_ids.tolist()):
+            entries = self._entries_for(
+                a_idx, covered_ids, pair_hop[a_pos], pair_ok[a_pos]
             )
-            if a_idx in self._reply_relay and not self.link_up_view(a_idx):
-                relay_idx = self._reply_relay[a_idx]
-                if self.link_up_view(relay_idx):
-                    envelope = RelayEnvelope(
-                        origin=self.me, inner=msg, target=view.members[a_idx]
-                    )
-                    self.counters.incr("relay_recommendation_sent")
-                    self.transport.send(self.me, view.members[relay_idx], envelope)
-                continue
-            self.transport.send(self.me, view.members[a_idx], msg)
+            self._send_rec_message(view, a_idx, entries, now)
+        for a_idx in relay_clients:
+            # Relayed clients are not covered destinations, so their
+            # pairs are not in the symmetric table; compute full-width.
+            a_row = self.table.cost_row(a_idx, metric, penalty)
+            totals = a_row[None, :] + covered_rows
+            best_h = np.argmin(totals, axis=1)
+            best_cost = totals[np.arange(m), best_h]
+            entries = self._entries_for(
+                a_idx, covered_ids, best_h, np.isfinite(best_cost)
+            )
+            self._send_rec_message(view, a_idx, entries, now)
+
+    def _entries_for(
+        self,
+        a_idx: int,
+        covered_ids: np.ndarray,
+        best_h: np.ndarray,
+        finite: np.ndarray,
+    ) -> List[Tuple[int, int]]:
+        """Recommendation entries for recipient ``a_idx`` (vectorized)."""
+        keep = finite & (covered_ids != a_idx)
+        hops = np.where(
+            (best_h == a_idx) | (best_h == covered_ids),
+            covered_ids,  # canonical "direct"
+            best_h,
+        )
+        return list(zip(covered_ids[keep].tolist(), hops[keep].tolist()))
+
+    def _send_rec_message(
+        self,
+        view: MembershipView,
+        a_idx: int,
+        entries: List[Tuple[int, int]],
+        now: float,
+    ) -> None:
+        if not entries:
+            return
+        msg = RecommendationMessage(
+            origin=self.me,
+            entries=entries,
+            view_version=view.version,
+            sent_at=now,
+            timestamped=self.config.timestamped_recommendations,
+        )
+        if a_idx in self._reply_relay and not self.link_up_view(a_idx):
+            relay_idx = self._reply_relay[a_idx]
+            if self.link_up_view(relay_idx):
+                envelope = RelayEnvelope(
+                    origin=self.me, inner=msg, target=view.members[a_idx]
+                )
+                self.counters.incr("relay_recommendation_sent")
+                self.transport.send(self.me, view.members[relay_idx], envelope)
+            return
+        self.transport.send(self.me, view.members[a_idx], msg)
 
     # ------------------------------------------------------------------
     # Protocol: message handlers
@@ -363,32 +408,74 @@ class QuorumRouter(RouterBase):
         src_idx = view.index_of(src)
         now = self.sim.now
         timestamps_on = self.config.timestamped_recommendations
-        covered: Set[int] = set()
-        for dst_idx, hop_idx in msg.entries:
-            if not (0 <= dst_idx < view.n and 0 <= hop_idx < view.n):
-                continue
-            if dst_idx == self.me_idx:
-                continue
-            covered.add(dst_idx)
-            prev_time = float(self.route_time[dst_idx])
-            self.route_time[dst_idx] = now
-            if timestamps_on and msg.sent_at < self.route_sent_at[dst_idx]:
+        if not msg.entries:
+            self.failover.note_recommendations(src_idx, set(), now)
+            return
+        ent = np.asarray(msg.entries, dtype=np.int64)
+        dsts, hops = ent[:, 0], ent[:, 1]
+        valid = (
+            (dsts >= 0)
+            & (dsts < view.n)
+            & (hops >= 0)
+            & (hops < view.n)
+            & (dsts != self.me_idx)
+        )
+        dsts, hops = dsts[valid], hops[valid]
+        # Even an entry too stale to install still counts as coverage:
+        # the rendezvous demonstrably recommends this destination.
+        covered: Set[int] = set(dsts.tolist())
+        if np.unique(dsts).size != dsts.size:
+            # Duplicate destinations in one message (only a non-standard
+            # sender produces these): sequential last-wins semantics.
+            self._apply_entries_scalar(dsts, hops, src_idx, msg.sent_at, now)
+        else:
+            if timestamps_on:
                 # Footnote 11: an out-of-order (older-computed)
-                # recommendation must not clobber a newer best hop.
+                # recommendation must not clobber a newer best hop —
+                # nor refresh its freshness window (stale information
+                # is not evidence the installed hop still holds).
+                live = msg.sent_at >= self.route_sent_at[dsts]
+                dsts, hops = dsts[live], hops[live]
+            prev_time = self.route_time[dsts].copy()
+            prev_server = self.route_server[dsts].copy()
+            displaced = (prev_server >= 0) & (prev_server != src_idx)
+            dd = dsts[displaced]
+            # Keep the displaced rendezvous' opinion as the secondary
+            # candidate for cross-validation.
+            self.route_hop2[dd] = self.route_hop[dd]
+            self.route_time2[dd] = prev_time[displaced]
+            self.route_server2[dd] = prev_server[displaced]
+            self.route_time[dsts] = now
+            self.route_hop[dsts] = hops
+            self.route_sent_at[dsts] = msg.sent_at
+            self.route_server[dsts] = src_idx
+        self.failover.note_recommendations(src_idx, covered, now)
+
+    def _apply_entries_scalar(
+        self,
+        dsts: np.ndarray,
+        hops: np.ndarray,
+        src_idx: int,
+        sent_at: float,
+        now: float,
+    ) -> None:
+        """Sequential fallback preserving last-wins duplicate semantics."""
+        timestamps_on = self.config.timestamped_recommendations
+        for dst_idx, hop_idx in zip(dsts.tolist(), hops.tolist()):
+            if timestamps_on and sent_at < self.route_sent_at[dst_idx]:
                 continue
+            prev_time = float(self.route_time[dst_idx])
             if (
                 self.route_server[dst_idx] >= 0
                 and self.route_server[dst_idx] != src_idx
             ):
-                # Keep the displaced rendezvous' opinion as the
-                # secondary candidate for cross-validation.
                 self.route_hop2[dst_idx] = self.route_hop[dst_idx]
                 self.route_time2[dst_idx] = prev_time
                 self.route_server2[dst_idx] = self.route_server[dst_idx]
+            self.route_time[dst_idx] = now
             self.route_hop[dst_idx] = hop_idx
-            self.route_sent_at[dst_idx] = msg.sent_at
+            self.route_sent_at[dst_idx] = sent_at
             self.route_server[dst_idx] = src_idx
-        self.failover.note_recommendations(src_idx, covered, now)
 
     # ------------------------------------------------------------------
     # Failover (§4.1)
@@ -454,15 +541,17 @@ class QuorumRouter(RouterBase):
     # Route queries
     # ------------------------------------------------------------------
     def _redundant_route(self, dst_idx: int) -> Optional[Route]:
-        """§4.2 fallback: one-hop via a client whose table we hold."""
-        now = self.sim.now
+        """§4.2 fallback: one-hop via a client whose table we hold.
+
+        A single min-plus gather over the packed row buffer.
+        """
         fresh = self._fresh_client_indices()
         fresh = fresh[fresh != dst_idx]
         if fresh.size == 0:
             return None
         own = self._cost_row(self.me_idx)
-        via = np.array(
-            [own[int(c)] + self._cost_row(int(c))[dst_idx] for c in fresh]
+        via = own[fresh] + self.table.cost_gather(
+            fresh, dst_idx, self.config.path_metric, self.config.loss_penalty_ms
         )
         pos = int(np.argmin(via))
         cost = float(via[pos])
@@ -507,6 +596,93 @@ class QuorumRouter(RouterBase):
                 age_s=0.0,
             )
         return Route(dst=dst_idx, hop=-1, cost_ms=np.inf, source=SOURCE_DIRECT, age_s=np.inf)
+
+    def route_vector(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All destinations' routes in one pass (see :class:`RouterBase`).
+
+        Semantically identical to calling :meth:`route_to` per
+        destination, but the recommendation-freshness test, the §4.2
+        redundant fallback, and the direct-path fallback each become one
+        numpy operation over the packed row buffer. With recommendation
+        cross-validation enabled the per-destination path is taken (its
+        conflict accounting is inherently sequential).
+        """
+        view = self._require_view()
+        if self.config.verify_recommendations:
+            return super().route_vector()
+        n = view.n
+        now = self.sim.now
+        me = self.me_idx
+        metric = self.config.path_metric
+        penalty = self.config.loss_penalty_ms
+        own = self._cost_row(me)
+        link_up = self.monitor.alive[self._member_ids]
+
+        hops = np.full(n, -1, dtype=np.int64)
+        usable = np.zeros(n, dtype=bool)
+        arange = np.arange(n)
+
+        # 1. Fresh recommendations whose hop is the destination itself
+        #    or a currently-up link.
+        rec_hop = self.route_hop
+        rec_fresh = (
+            ((now - self.route_time) <= 2.0 * self.routing_interval_s)
+            & (rec_hop >= 0)
+        )
+        rec_fresh[me] = False
+        hop_direct = rec_fresh & (rec_hop == arange)
+        hop_up = rec_fresh & ~hop_direct
+        idxs = np.nonzero(hop_up)[0]
+        hop_up[idxs] = link_up[rec_hop[idxs]]
+        use_rec = hop_direct | hop_up
+        rd = np.nonzero(use_rec)[0]
+        if rd.size:
+            h = rec_hop[rd]
+            # _estimate_cost: own first leg, plus the hop's row entry
+            # when we hold a fresh row for it (0 contribution otherwise).
+            second = np.zeros(rd.size)
+            nd = np.nonzero(h != rd)[0]
+            if nd.size:
+                aged_ok = (
+                    now - self.table.row_time[h[nd]]
+                ) <= self.config.rec_memory_s()
+                sel = nd[aged_ok]
+                if sel.size:
+                    vals = self.table.cost_points(h[sel], rd[sel], metric, penalty)
+                    second[sel] = np.where(np.isfinite(vals), vals, 0.0)
+            cost = own[h] + second
+            hops[rd] = h
+            usable[rd] = np.isfinite(cost)
+
+        # 2. §4.2 redundant fallback for the rest.
+        rem = np.nonzero(~use_rec)[0]
+        rem = rem[rem != me]
+        if rem.size:
+            fresh = self._fresh_client_indices()
+            if fresh.size:
+                rows = self.table.cost_matrix(fresh, metric, penalty)
+                via = own[fresh][:, None] + rows[:, rem]  # (k, r)
+                # A client cannot be the one-hop to itself.
+                col_of = np.full(n, -1, dtype=np.int64)
+                col_of[rem] = np.arange(rem.size)
+                fc = col_of[fresh]
+                have = np.nonzero(fc >= 0)[0]
+                via[have, fc[have]] = np.inf
+                best_pos = np.argmin(via, axis=0)
+                best = via[best_pos, np.arange(rem.size)]
+                okr = np.isfinite(best)
+                hops[rem[okr]] = fresh[best_pos[okr]]
+                usable[rem[okr]] = True
+                rem = rem[~okr]
+            # 3. Bare direct path.
+            if rem.size:
+                direct = rem[link_up[rem]]
+                hops[direct] = direct
+                usable[direct] = np.isfinite(own[direct])
+
+        hops[me] = me
+        usable[me] = True
+        return hops, usable
 
     def _cross_validated_hop(
         self, own: np.ndarray, dst_idx: int, primary: int, now: float

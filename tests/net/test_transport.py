@@ -157,6 +157,72 @@ class TestLoss:
         assert 0.52 < len(got) / 2000 < 0.68
 
 
+class TestCoalescedDelivery:
+    """Same-arrival datagrams share one delivery event (PR 4).
+
+    Loss is still drawn per message at send time and handlers still run
+    once per message in send order, so protocol behavior and RNG streams
+    are untouched — only the event-queue footprint shrinks.
+    """
+
+    def test_same_tick_same_pair_shares_one_event(self):
+        sim, topo, transport, _ = make_setup()
+        got = []
+        transport.register(1, lambda msg, src: got.append((sim.now, msg)))
+        a = ls_msg(0, 3)
+        b = RecommendationMessage(origin=0, entries=[(1, 2)])
+        transport.send(0, 1, a)
+        transport.send(0, 1, b)
+        assert transport.coalesced_count == 1
+        assert sim.pending() == 1  # one heap entry for two datagrams
+        sim.run()
+        assert [m for _, m in got] == [a, b]  # send order preserved
+        assert got[0][0] == got[1][0] == 0.050
+        assert transport.delivered_count == 2
+
+    def test_distinct_arrivals_not_coalesced(self):
+        rtt_m = np.array(
+            [[0.0, 100.0, 80.0], [100.0, 0.0, 60.0], [80.0, 60.0, 0.0]]
+        )
+        topo = Topology(rtt_m)
+        sim = Simulator()
+        transport = DatagramTransport(sim, topo, np.random.default_rng(1))
+        transport.register(1, lambda m, s: None)
+        transport.send(0, 1, ls_msg(0, 3))
+        transport.send(2, 1, ls_msg(2, 3))
+        assert transport.coalesced_count == 0
+        assert sim.pending() == 2
+
+    def test_unregister_mid_batch_drops_rest(self):
+        sim, topo, transport, _ = make_setup()
+        got = []
+
+        def handler(msg, src):
+            got.append(msg)
+            transport.unregister(1)
+
+        transport.register(1, handler)
+        a, b = ls_msg(0, 3), ls_msg(0, 3)
+        transport.send(0, 1, a)
+        transport.send(0, 1, b)
+        sim.run()
+        assert got == [a]
+        assert transport.dropped_count == 1
+
+    def test_bandwidth_counted_per_message(self):
+        sim, topo, transport, bw = make_setup()
+        transport.register(1, lambda m, s: None)
+        a = ls_msg(0, 3)
+        b = RecommendationMessage(origin=0, entries=[(1, 2)])
+        transport.send(0, 1, a)
+        transport.send(0, 1, b)
+        sim.run()
+        assert (
+            bw.bytes_per_node(directions=("in",))[1]
+            == a.wire_size() + b.wire_size()
+        )
+
+
 class TestAccounting:
     def test_out_bytes_counted_even_for_lost_messages(self):
         n = 3

@@ -1,0 +1,250 @@
+"""Dense vs row-sparse link-state tables: bitwise-equivalent semantics.
+
+The quorum router swapped its dense ``LinkStateTable`` for the packed
+``SparseLinkStateTable`` (PR 4); every pre-existing results table must
+stay byte-identical, so the two implementations are held to *bitwise*
+equality — same update/query workloads, same floats out — including
+full ``route_to`` outputs on a live router.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import PathMetric
+from repro.errors import RoutingError
+from repro.net.trace import uniform_random_metric
+from repro.overlay.config import RouterKind
+from repro.overlay.harness import build_overlay
+from repro.overlay.linkstate import LinkStateTable, SparseLinkStateTable
+
+METRICS = (None, PathMetric.LATENCY, PathMetric.LOSS, PathMetric.COMBINED)
+
+
+def random_row(rng, n, idx):
+    """A plausible link-state row: dead entries are inf (the monitor /
+    wire-decoder contract update_row documents)."""
+    alive = rng.random(n) < 0.8
+    alive[idx] = True
+    latency = rng.uniform(5.0, 400.0, n)
+    latency[~alive] = np.inf
+    latency[idx] = 0.0
+    loss = np.where(rng.random(n) < 0.3, rng.uniform(0.0, 0.6, n), 0.0)
+    return latency, alive, loss
+
+
+def apply_workload(table, ops, n):
+    rng = np.random.default_rng(1234)
+    for kind, idx, t in ops:
+        if kind == "update":
+            latency, alive, loss = random_row(rng, n, idx)
+            table.update_row(idx, latency, alive, loss, t)
+        else:
+            table.touch_row(idx, t)
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    num_ops = draw(st.integers(min_value=0, max_value=20))
+    ops = []
+    t = 0.0
+    for _ in range(num_ops):
+        t += draw(st.floats(min_value=0.0, max_value=40.0))
+        ops.append(
+            (
+                draw(st.sampled_from(["update", "touch"])),
+                draw(st.integers(min_value=0, max_value=n - 1)),
+                t,
+            )
+        )
+    return n, ops, t
+
+
+class TestDenseSparseEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(workloads())
+    def test_bitwise_identical_queries(self, wl):
+        n, ops, t_end = wl
+        dense = LinkStateTable(n)
+        sparse = SparseLinkStateTable(n, capacity_hint=2)
+        apply_workload(dense, ops, n)
+        apply_workload(sparse, ops, n)
+
+        assert np.array_equal(dense.row_time, sparse.row_time)
+        now = t_end + 10.0
+        for max_age in (15.0, 45.0, 1e9):
+            assert np.array_equal(
+                dense.fresh_rows(now, max_age), sparse.fresh_rows(now, max_age)
+            )
+        for idx in range(n):
+            assert dense.row_age(idx, now) == sparse.row_age(idx, now)
+            d_lat = dense.effective_latency(idx)
+            s_lat = sparse.effective_latency(idx)
+            assert np.array_equal(d_lat, s_lat), f"latency row {idx}"
+            for metric in METRICS:
+                d_cost = dense.effective_cost(idx, metric, 500.0)
+                s_cost = sparse.effective_cost(idx, metric, 500.0)
+                assert np.array_equal(d_cost, s_cost), f"{metric} row {idx}"
+                # The cached variants must serve the same bytes.
+                assert np.array_equal(
+                    d_cost, sparse.cost_row(idx, metric, 500.0)
+                )
+            for dst in range(n):
+                for max_age in (15.0, 45.0):
+                    assert dense.sees_alive(dst, now, max_age) == sparse.sees_alive(
+                        dst, now, max_age
+                    )
+
+    @settings(max_examples=25, deadline=None)
+    @given(workloads(), st.data())
+    def test_remap_equivalence(self, wl, data):
+        n, ops, _ = wl
+        dense = LinkStateTable(n)
+        sparse = SparseLinkStateTable(n, capacity_hint=2)
+        apply_workload(dense, ops, n)
+        apply_workload(sparse, ops, n)
+
+        survivors_old = np.array(
+            sorted(
+                data.draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=n - 1), max_size=n
+                    )
+                )
+            ),
+            dtype=np.int64,
+        )
+        extra_new = data.draw(st.integers(min_value=0, max_value=3))
+        n_new = survivors_old.size + extra_new
+        if n_new == 0:
+            return
+        perm = np.random.default_rng(7).permutation(n_new)
+        survivors_new = np.sort(perm[: survivors_old.size])
+
+        d2 = dense.remap(survivors_old, survivors_new, n_new)
+        s2 = sparse.remap(survivors_old, survivors_new, n_new)
+        assert np.array_equal(d2.row_time, s2.row_time)
+        for idx in range(n_new):
+            assert np.array_equal(
+                d2.effective_latency(idx), s2.effective_latency(idx)
+            )
+            for metric in METRICS:
+                assert np.array_equal(
+                    d2.effective_cost(idx, metric, 500.0),
+                    s2.effective_cost(idx, metric, 500.0),
+                )
+
+
+class TestSparseMechanics:
+    def test_capacity_grows_past_hint(self):
+        n = 40
+        t = SparseLinkStateTable(n, capacity_hint=2)
+        rng = np.random.default_rng(0)
+        for idx in range(n):
+            latency, alive, loss = random_row(rng, n, idx)
+            t.update_row(idx, latency, alive, loss, float(idx))
+        assert t.held_rows == n
+        assert t.capacity >= n
+        for idx in range(n):
+            assert t.row_time[idx] == float(idx)
+
+    def test_memory_is_row_proportional(self):
+        n = 512
+        sparse = SparseLinkStateTable(n, capacity_hint=8, store_loss=False)
+        dense = LinkStateTable(n)
+        rng = np.random.default_rng(0)
+        for idx in range(8):
+            latency, alive, loss = random_row(rng, n, idx)
+            sparse.update_row(idx, latency, alive, loss, 0.0)
+        # 8 held rows of 512 vs a dense 512 x 512 store.
+        assert sparse.nbytes() < dense.nbytes() / 10
+
+    def test_store_loss_false_rejects_loss_metrics(self):
+        t = SparseLinkStateTable(4, store_loss=False)
+        rng = np.random.default_rng(0)
+        latency, alive, loss = random_row(rng, 4, 1)
+        t.update_row(1, latency, alive, loss, 0.0)
+        assert np.array_equal(
+            t.effective_cost(1), t.effective_latency(1)
+        )  # latency metric fine
+        with pytest.raises(RoutingError):
+            t.effective_cost(1, PathMetric.LOSS)
+
+    def test_cost_cache_invalidated_by_update(self):
+        n = 6
+        t = SparseLinkStateTable(n)
+        rng = np.random.default_rng(0)
+        latency, alive, loss = random_row(rng, n, 2)
+        t.update_row(2, latency, alive, loss, 0.0)
+        before = t.cost_row(2, PathMetric.COMBINED, 500.0).copy()
+        latency2, alive2, loss2 = random_row(rng, n, 2)
+        t.update_row(2, latency2, alive2, loss2, 1.0)
+        after = t.cost_row(2, PathMetric.COMBINED, 500.0)
+        assert np.array_equal(after, t.effective_cost(2, PathMetric.COMBINED, 500.0))
+        assert not np.array_equal(before, after)
+
+    def test_gathers_match_rows(self):
+        n = 10
+        t = SparseLinkStateTable(n)
+        rng = np.random.default_rng(3)
+        for idx in (0, 3, 7):
+            latency, alive, loss = random_row(rng, n, idx)
+            t.update_row(idx, latency, alive, loss, 0.0)
+        held = np.array([0, 3, 7])
+        mat = t.cost_matrix(held)
+        for pos, idx in enumerate(held):
+            assert np.array_equal(mat[pos], t.effective_cost(int(idx)))
+        assert np.array_equal(t.cost_gather(held, 5), mat[:, 5])
+        cols = np.array([1, 2, 9])
+        assert np.array_equal(
+            t.cost_points(held, cols), mat[np.arange(3), cols]
+        )
+        for pos, idx in enumerate(held):
+            assert t.latency_leg(held, 4)[pos] == t.effective_latency(int(idx))[4]
+
+    def test_unheld_row_gather_rejected(self):
+        t = SparseLinkStateTable(5)
+        with pytest.raises(RoutingError):
+            t.cost_matrix(np.array([1]))
+
+
+class TestRouterDenseSparseRouteEquality:
+    """Full ``route_to`` outputs are bitwise-identical whichever table
+    implementation backs a live quorum router."""
+
+    def _dense_copy(self, sparse: SparseLinkStateTable) -> LinkStateTable:
+        dense = LinkStateTable(sparse.n)
+        for idx in np.nonzero(np.isfinite(sparse.row_time))[0]:
+            idx = int(idx)
+            slot = int(sparse._slot_of[idx])
+            dense.update_row(
+                idx,
+                sparse._latency[slot].copy(),
+                sparse._alive[slot].copy(),
+                np.zeros(sparse.n),
+                float(sparse.row_time[idx]),
+            )
+        return dense
+
+    def test_route_to_identical_after_run(self):
+        rng = np.random.default_rng(5)
+        trace = uniform_random_metric(20, rng)
+        ov = build_overlay(trace=trace, router=RouterKind.QUORUM, rng=rng)
+        ov.run(150.0)
+        for node in ov.nodes[:6]:
+            router = node.router
+            sparse = router.table
+            sparse_routes = [router.route_to(d) for d in range(20)]
+            s_hops, s_usable = router.route_vector()
+            router.table = self._dense_copy(sparse)
+            try:
+                dense_routes = [router.route_to(d) for d in range(20)]
+                d_hops, d_usable = router.route_vector()
+            finally:
+                router.table = sparse
+            for a, b in zip(sparse_routes, dense_routes):
+                assert (a.hop, a.cost_ms, a.source) == (b.hop, b.cost_ms, b.source)
+            assert np.array_equal(s_hops, d_hops)
+            assert np.array_equal(s_usable, d_usable)

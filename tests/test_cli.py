@@ -11,7 +11,7 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for cmd in ("capacity", "fig1", "fig9", "deployment", "scenarios",
-                    "ablations", "multihop", "sosr", "churn", "all"):
+                    "ablations", "multihop", "sosr", "churn", "perf", "all"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
@@ -93,3 +93,16 @@ class TestCommands:
         written = {p.name for p in tmp_path.iterdir()}
         assert "table_churn_comparison.txt" in written
         assert "table_churn_mass_failure.txt" in written
+
+    def test_perf_smoke_writes_bench_json(self, tmp_path, capsys):
+        import json
+
+        assert main(["perf", "--smoke", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Perf scaling" in out
+        bench = json.loads((tmp_path / "BENCH_PR4.json").read_text())
+        assert bench["smoke"] is True
+        run = bench["scale_runs"][0]
+        assert run["n"] == 256
+        assert run["route_usable_frac"] > 0.9
+        assert run["linkstate_bytes_max"] * 8 < run["linkstate_bytes_dense"]
