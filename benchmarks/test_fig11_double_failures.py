@@ -15,7 +15,6 @@ def test_fig11_double_failures(benchmark, deployment, results_dir):
     emit(results_dir, "fig11_double_failures", table)
 
     means = deployment.fig11_mean_per_node()
-    n = deployment.n
     # Median node: almost no double failures.
     assert np.median(means) < 3.0
     # The vast majority of nodes average a small count (paper: 98% < 10;

@@ -7,7 +7,6 @@ broadcast — and optimal 3-hop routes cost just twice the one-hop
 communication.
 """
 
-import math
 
 from conftest import emit
 
@@ -32,7 +31,6 @@ def test_multihop_scaling(benchmark, results_dir):
     first, last = rows[0], rows[-1]
     growth = last.multihop_kb / first.multihop_kb
     n_ratio = last.n / first.n
-    log_ratio = math.log2(last.n) / math.log2(first.n)
     assert growth < n_ratio**2
     assert growth > n_ratio**1.2
     # The multi-hop run costs about its iteration count in one-hop

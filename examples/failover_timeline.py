@@ -13,7 +13,6 @@ import numpy as np
 from repro.experiments.scenarios import (
     format_scenarios,
     run_all_scenarios,
-    run_scenario,
 )
 from repro.net.failures import FailureTable, OutageSchedule
 from repro.net.trace import uniform_random_metric

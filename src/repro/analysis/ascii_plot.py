@@ -8,8 +8,7 @@ at a glance in terminal output and in the ``results/`` artifacts.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -35,17 +34,17 @@ def ascii_plot(
     Each series gets a marker from ``o x + * ...``; the legend maps them
     back. ``log_x`` plots x on a log scale (Figures 12-14 style).
     """
-    xs = np.asarray(xs, dtype=float)
-    if xs.size < 2:
+    xs_arr = np.asarray(xs, dtype=float)
+    if xs_arr.size < 2:
         raise ConfigError("need at least two x points to plot")
     if not series:
         raise ConfigError("need at least one series")
     if len(series) > len(_MARKERS):
         raise ConfigError(f"too many series (max {len(_MARKERS)})")
-    if log_x and xs.min() <= 0:
+    if log_x and xs_arr.min() <= 0:
         raise ConfigError("log_x requires positive x values")
 
-    x_plot = np.log10(xs) if log_x else xs
+    x_plot = np.log10(xs_arr) if log_x else xs_arr
     x_lo, x_hi = float(x_plot.min()), float(x_plot.max())
     if x_hi == x_lo:
         raise ConfigError("x range is degenerate")
@@ -60,10 +59,10 @@ def ascii_plot(
 
     grid = [[" "] * width for _ in range(height)]
     for (name, ys), marker in zip(series.items(), _MARKERS):
-        ys = np.asarray(ys, dtype=float)
-        if ys.shape != xs.shape:
+        ys_arr = np.asarray(ys, dtype=float)
+        if ys_arr.shape != xs_arr.shape:
             raise ConfigError(f"series {name!r} length mismatch")
-        for x, y in zip(x_plot, ys):
+        for x, y in zip(x_plot, ys_arr):
             if not np.isfinite(y):
                 continue
             col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
@@ -80,8 +79,8 @@ def ascii_plot(
         label = top_label if r == 0 else (bottom_label if r == height - 1 else "")
         lines.append(f"{label:>{pad}} |" + "".join(row_chars))
     lines.append(" " * pad + " +" + "-" * width)
-    x_left = f"{xs.min():.6g}"
-    x_right = f"{xs.max():.6g}"
+    x_left = f"{xs_arr.min():.6g}"
+    x_right = f"{xs_arr.max():.6g}"
     scale = " (log x)" if log_x else ""
     gap = width - len(x_left) - len(x_right)
     lines.append(

@@ -17,8 +17,8 @@ paper reports for its deployment (13.5 vs 15.3 Kbps at n = 140).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.errors import ConfigError
 from repro.overlay import wire
@@ -67,7 +67,9 @@ def quorum_routing_bps(n: float, routing_interval_s: float = 15.0) -> float:
     return per_interval_bytes * 8 / routing_interval_s
 
 
-def routing_bps(n: float, kind: RouterKind, config: OverlayConfig = None) -> float:
+def routing_bps(
+    n: float, kind: RouterKind, config: Optional[OverlayConfig] = None
+) -> float:
     """Routing traffic for either algorithm at its configured interval."""
     config = config or OverlayConfig()
     interval = config.routing_interval_s(kind)
@@ -76,7 +78,9 @@ def routing_bps(n: float, kind: RouterKind, config: OverlayConfig = None) -> flo
     return quorum_routing_bps(n, interval)
 
 
-def total_bps(n: float, kind: RouterKind, config: OverlayConfig = None) -> float:
+def total_bps(
+    n: float, kind: RouterKind, config: Optional[OverlayConfig] = None
+) -> float:
     """Probing + routing traffic (the §1 capacity arithmetic)."""
     config = config or OverlayConfig()
     return probing_bps(n, config.probe_interval_s) + routing_bps(n, kind, config)
@@ -105,11 +109,7 @@ class BandwidthModel:
     """Convenience bundle evaluating both algorithms at one overlay size."""
 
     n: int
-    config: OverlayConfig = None
-
-    def __post_init__(self):
-        if self.config is None:
-            object.__setattr__(self, "config", OverlayConfig())
+    config: OverlayConfig = field(default_factory=OverlayConfig)
 
     @property
     def probing(self) -> float:

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.bandwidth import (
     fullmesh_routing_bps,
@@ -36,7 +36,7 @@ __all__ = [
 def max_overlay_size(
     budget_bps: float,
     kind: RouterKind,
-    config: OverlayConfig = None,
+    config: Optional[OverlayConfig] = None,
     n_max: int = 1_000_000,
 ) -> int:
     """Largest ``n`` whose probing+routing traffic fits ``budget_bps``.
@@ -74,7 +74,7 @@ class CapacityComparison:
 
 
 def capacity_at_budget(
-    budget_bps: float = 56_000.0, config: OverlayConfig = None
+    budget_bps: float = 56_000.0, config: Optional[OverlayConfig] = None
 ) -> CapacityComparison:
     """The §1 example: 56 Kbps -> 165 nodes (RON) vs ~300 (quorum)."""
     config = config or OverlayConfig()
@@ -86,7 +86,7 @@ def capacity_at_budget(
 
 
 def planetlab_sites_comparison(
-    n: int = 416, config: OverlayConfig = None
+    n: int = 416, config: Optional[OverlayConfig] = None
 ) -> Dict[str, float]:
     """Per-node traffic of an overlay on all 416 PlanetLab sites (§1).
 

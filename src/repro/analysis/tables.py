@@ -7,7 +7,7 @@ keeps the formatting consistent and readable.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 __all__ = ["render_table", "render_series"]
 
@@ -37,15 +37,15 @@ def render_table(
 def render_series(
     x_label: str,
     xs: Sequence[float],
-    series: dict,
+    series: Mapping[str, Sequence[float]],
     title: str = "",
     fmt: str = "{:.3f}",
 ) -> str:
     """Render one x column plus named y columns (a figure's data)."""
     headers = [x_label] + list(series.keys())
-    rows = []
+    rows: List[List[object]] = []
     for k, x in enumerate(xs):
-        rows.append([x] + [fmt.format(series[name][k]) for name in series])
+        rows.append([x, *(fmt.format(series[name][k]) for name in series)])
     return render_table(headers, rows, title=title)
 
 

@@ -25,7 +25,7 @@ polls it, so every §4 behaviour is unit-testable in isolation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -180,7 +180,7 @@ class FailoverManager:
         absent count as affirmative remote-failure evidence (§4.1's
         "observing that k stopped recommending any route to node j").
         """
-        for dst in covered:
+        for dst in sorted(covered):
             self._last_cover[(server, dst)] = now
             self._omitted_at.pop((server, dst), None)
         expected = list(self._dsts_by_server.get(server, ()))

@@ -14,7 +14,7 @@ Figure 1 analysis, and the property-test oracles.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -184,7 +184,6 @@ def best_excluding_top_fraction(
     if not 0.0 <= exclude_fraction < 1.0:
         raise RoutingError(f"exclude_fraction must be in [0, 1), got {exclude_fraction}")
     totals = one_hop_totals(w, i, j)
-    n = totals.shape[0]
     candidates = np.delete(totals, [i, j])  # true intermediates only
     k = int(np.floor(exclude_fraction * candidates.size))
     if k >= candidates.size:

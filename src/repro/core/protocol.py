@@ -14,7 +14,7 @@ perfectly synchronized reference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -59,11 +59,11 @@ class CommunicationLedger:
 
     def max_total_bytes(self) -> int:
         nodes = set(self.bytes_sent) | set(self.bytes_received)
-        return max((self.total_bytes(x) for x in nodes), default=0)
+        return max((self.total_bytes(x) for x in sorted(nodes)), default=0)
 
     def max_total_messages(self) -> int:
         nodes = set(self.messages_sent) | set(self.messages_received)
-        return max((self.total_messages(x) for x in nodes), default=0)
+        return max((self.total_messages(x) for x in sorted(nodes)), default=0)
 
 
 @dataclass

@@ -17,7 +17,7 @@ one-hop cost) across honest pairs, with and without verification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -37,7 +37,7 @@ from repro.analysis.tables import render_table
 from repro.experiments.membership_scaling import IN_BAND_LOSS
 from repro.net.trace import planetlab_like
 from repro.overlay.config import OverlayConfig, RouterKind
-from repro.overlay.harness import Overlay, build_overlay
+from repro.overlay.harness import build_overlay
 from repro.workloads import ChurnTrace, ChurnWorkload, run_churn_workload
 
 __all__ = [

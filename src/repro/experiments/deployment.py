@@ -21,13 +21,13 @@ failure injection (see DESIGN.md, "Substitutions").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.cdf import counts_at
-from repro.analysis.tables import render_series, render_table
+from repro.analysis.tables import render_series
 from repro.net.failures import NodeClass, assign_node_classes, build_failure_table
 from repro.net.trace import planetlab_like
 from repro.overlay.config import OverlayConfig, RouterKind

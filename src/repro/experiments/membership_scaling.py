@@ -56,7 +56,6 @@ from repro.overlay.membership import (
 )
 from repro.overlay.stats import DisruptionRecorder
 from repro.workloads.trace import (
-    ACTION_FAIL,
     ACTION_JOIN,
     ACTION_LEAVE,
     ChurnEvent,
@@ -540,7 +539,7 @@ def run_membership_in_band(
     def sample_views() -> None:
         versions = np.full(trace.n, -1, dtype=np.int64)
         live = np.zeros(trace.n, dtype=bool)
-        for m in alive:
+        for m in sorted(alive):
             node = members[m]
             if node.out:
                 continue

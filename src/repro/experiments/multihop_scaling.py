@@ -11,7 +11,6 @@ computed routes against a centralized shortest-path oracle.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Sequence
 

@@ -17,7 +17,7 @@ one-hop) and latency repair of high-latency pairs (random-k vs best).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 import numpy as np
 

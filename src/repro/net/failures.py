@@ -46,7 +46,7 @@ class NodeClass(Enum):
     POOR = "poor"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeClassParams:
     """Failure-process parameters for one node class.
 
@@ -213,7 +213,7 @@ def assign_node_classes(
     return classes
 
 
-@dataclass
+@dataclass(slots=True)
 class FailureTable:
     """Outage schedules for every link of an ``n``-node full mesh.
 
@@ -225,6 +225,10 @@ class FailureTable:
     n: int
     link_schedules: Dict[Tuple[int, int], OutageSchedule] = field(default_factory=dict)
     node_schedules: Dict[int, OutageSchedule] = field(default_factory=dict)
+    # Per-source index built in __post_init__; declared so slots covers it.
+    _by_source: List[List[Tuple[int, OutageSchedule]]] = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for (i, j) in self.link_schedules:

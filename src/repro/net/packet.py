@@ -10,7 +10,7 @@ same information.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -44,7 +44,7 @@ KIND_MEMBERSHIP = "member"
 KIND_MEMBERSHIP_CTRL = "member-ctl"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """Base class for overlay messages."""
 
@@ -58,7 +58,7 @@ class Message:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeRequest(Message):
     """A liveness/latency probe (bare header on the wire)."""
 
@@ -72,7 +72,7 @@ class ProbeRequest(Message):
         return wire.PROBE_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeReply(Message):
     """Reply to a probe; echoes the sequence number."""
 
@@ -86,7 +86,7 @@ class ProbeReply(Message):
         return wire.PROBE_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class LinkStateMessage(Message):
     """One node's link-state row (round 1 of the routing protocol).
 
@@ -127,7 +127,7 @@ class LinkStateMessage(Message):
         return base + (wire.NODE_ID_BYTES if self.relay_via is not None else 0)
 
 
-@dataclass
+@dataclass(slots=True)
 class RecommendationMessage(Message):
     """Round-2 best-one-hop recommendations for one rendezvous client.
 
@@ -159,7 +159,7 @@ class RecommendationMessage(Message):
         return [dst for dst, _ in self.entries]
 
 
-@dataclass
+@dataclass(slots=True)
 class RelayEnvelope(Message):
     """§4.1 footnote 8: a message sent via a temporary one-hop relay.
 
@@ -181,7 +181,7 @@ class RelayEnvelope(Message):
         return self.inner.wire_size() + 2 * wire.NODE_ID_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class MembershipUpdate(Message):
     """A new full membership view pushed by the membership service.
 
@@ -201,7 +201,7 @@ class MembershipUpdate(Message):
         return wire.membership_message_bytes(len(self.members))
 
 
-@dataclass
+@dataclass(slots=True)
 class MembershipDelta(Message):
     """An incremental membership view update on the overlay wire.
 
@@ -223,7 +223,7 @@ class MembershipDelta(Message):
         return wire.membership_delta_message_bytes(len(self.joined), len(self.left))
 
 
-@dataclass
+@dataclass(slots=True)
 class MembershipRefresh(Message):
     """A member's heartbeat to the in-band membership coordinator.
 

@@ -134,7 +134,7 @@ class PeriodicTimer:
             self._event = None
 
 
-class Simulator:
+class Simulator:  # reprolint: disable=RL002(one Simulator per experiment, not per node; a __dict__ here is immaterial)
     """Single-threaded deterministic discrete-event scheduler.
 
     Parameters

@@ -21,7 +21,7 @@ from repro.net.trace import SyntheticTrace
 __all__ = ["Topology"]
 
 
-class Topology:
+class Topology:  # reprolint: disable=RL002(one Topology per experiment; holds O(n^2) arrays, not O(n) instances)
     """Full-mesh underlay with optional failure injection.
 
     Parameters

@@ -23,7 +23,7 @@ All generators are deterministic given a :class:`numpy.random.Generator`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -70,7 +70,7 @@ REGION_BASE_RTT_MS: np.ndarray = np.array(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class SyntheticTrace:
     """A generated latency/loss snapshot for ``n`` hosts.
 

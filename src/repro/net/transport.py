@@ -27,7 +27,7 @@ __all__ = ["DatagramTransport"]
 DeliveryHandler = Callable[[Message, int], None]
 
 
-class DatagramTransport:
+class DatagramTransport:  # reprolint: disable=RL002(one shared transport per simulation, not per node)
     """Best-effort message delivery between overlay nodes.
 
     Parameters

@@ -34,6 +34,8 @@ __all__ = ["MaliciousQuorumRouter"]
 class MaliciousQuorumRouter(QuorumRouter):
     """A rendezvous that recommends itself as every pair's best hop."""
 
+    __slots__ = ()
+
     def _send_recommendations(self) -> None:
         view = self._require_view()
         fresh = self._fresh_client_indices()

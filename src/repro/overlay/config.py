@@ -16,7 +16,7 @@ the *relative* cost of the two algorithms is interval-independent (§5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 
 from repro.core.metrics import PathMetric
@@ -32,7 +32,7 @@ class RouterKind(Enum):
     QUORUM = "quorum"  # this paper's two-round grid-quorum protocol
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OverlayConfig:
     """All tunables of the overlay, defaulting to the paper's values."""
 

@@ -9,8 +9,7 @@ overlay nodes with staggered timer phases — and returns an
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -21,7 +20,7 @@ from repro.net.topology import Topology
 from repro.net.trace import SyntheticTrace, planetlab_like
 from repro.net.transport import DatagramTransport
 from repro.overlay.config import OverlayConfig, RouterKind
-from repro.overlay.membership import MembershipService, MembershipView
+from repro.overlay.membership import MembershipService
 from repro.overlay.node import OverlayNode
 from repro.overlay.router_quorum import QuorumRouter
 from repro.overlay.stats import (
@@ -35,7 +34,7 @@ from repro.overlay.stats import (
 __all__ = ["Overlay", "build_overlay"]
 
 
-class Overlay:
+class Overlay:  # reprolint: disable=RL002(one harness object per experiment; never instantiated per node)
     """A running overlay plus its instrumentation.
 
     Use :func:`build_overlay` to construct one. ``run(duration)`` advances
@@ -204,7 +203,7 @@ class Overlay:
         gap.
         """
         versions = np.full(self.n, -1, dtype=np.int64)
-        for i in self.active:
+        for i in sorted(self.active):
             node = self.nodes[i]
             if node.started and node.router.view is not None:
                 versions[i] = node.router.view.version
@@ -262,7 +261,7 @@ class Overlay:
         """Boolean mask of nodes that are active with running timers and
         a membership view (the measurable overlay population)."""
         mask = np.zeros(self.n, dtype=bool)
-        for i in self.active:
+        for i in sorted(self.active):
             node = self.nodes[i]
             if node.started and node.router.view is not None:
                 mask[i] = True

@@ -60,6 +60,18 @@ class LinkStateTable:
     received have ``-inf`` update time and all-``inf`` latency.
     """
 
+    __slots__ = (
+        "n",
+        "latency_ms",
+        "alive",
+        "loss",
+        "row_time",
+        "row_version",
+        "_cost",
+        "_cost_version",
+        "_cost_key",
+    )
+
     def __init__(self, n: int):
         if n <= 0:
             raise RoutingError("table size must be positive")
@@ -292,6 +304,22 @@ class SparseLinkStateTable:
         never reads them) and loss-based cost metrics raise — this
         halves the table's float storage for the paper-default runs.
     """
+
+    __slots__ = (
+        "n",
+        "row_time",
+        "row_version",
+        "_slot_of",
+        "_idx_of",
+        "_used",
+        "_latency",
+        "_alive",
+        "_store_loss",
+        "_loss",
+        "_cost",
+        "_cost_version",
+        "_cost_key",
+    )
 
     def __init__(
         self,

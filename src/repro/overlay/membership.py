@@ -91,7 +91,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["MembershipView", "ViewDelta", "ViewUpdate", "MembershipService"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MembershipView:
     """A versioned, sorted membership snapshot.
 
@@ -131,7 +131,7 @@ class MembershipView:
             return False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViewDelta:
     """An incremental view update: ``from_version`` plus changes gives
     ``to_version``.
@@ -215,7 +215,7 @@ def _coalesce_into(
             left.add(m)
 
 
-class MembershipService:
+class MembershipService:  # reprolint: disable=RL002(one membership authority per overlay, not per node)
     """Coordinator tracking joins, leaves, and refresh timeouts.
 
     Parameters

@@ -54,6 +54,27 @@ class LinkMonitor:
         losses and (correctly) declare the path down.
     """
 
+    __slots__ = (
+        "me",
+        "n",
+        "_sim",
+        "_topology",
+        "_config",
+        "_rng",
+        "_bandwidth",
+        "_transport",
+        "on_link_down",
+        "on_link_up",
+        "est_rtt_ms",
+        "alive",
+        "loss_est",
+        "consecutive_losses",
+        "version",
+        "_rapid_pending",
+        "_timer",
+        "_measurement_noise",
+    )
+
     def __init__(
         self,
         me: int,

@@ -39,6 +39,26 @@ class OverlayNode:
     failover trigger).
     """
 
+    __slots__ = (
+        "id",
+        "sim",
+        "config",
+        "monitor",
+        "router",
+        "transport",
+        "_started",
+        "_registered",
+        "on_refresh",
+        "membership_addr",
+        "_refresh_timer",
+        "_pending_start",
+        "_start_on_view",
+        "_acquire_timer",
+        "_repair_requested_from",
+        "dropped_unappliable_deltas",
+        "dropped_stale_full_views",
+    )
+
     def __init__(
         self,
         node_id: int,

@@ -25,7 +25,7 @@ SOURCE_REDUNDANT = "redundant"
 SOURCE_DIRECT = "direct"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """The overlay's current answer for "how do I reach ``dst``?".
 
@@ -63,6 +63,24 @@ class RouterBase(abc.ABC):
     """Common structure: timers, view handling, message dispatch."""
 
     kind: RouterKind
+
+    # `table` is assigned by each subclass's _rebuild_for_view; declaring
+    # the slot here keeps subclasses free to stay slotted.
+    __slots__ = (
+        "me",
+        "sim",
+        "transport",
+        "monitor",
+        "config",
+        "view",
+        "me_idx",
+        "table",
+        "_timer",
+        "dropped_stale_view",
+        "_own_row_seen_version",
+        "on_version_gap",
+        "_member_ids",
+    )
 
     def __init__(
         self,

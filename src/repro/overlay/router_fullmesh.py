@@ -31,6 +31,8 @@ class FullMeshRouter(RouterBase):
 
     kind = RouterKind.FULL_MESH
 
+    __slots__ = ()
+
     def _rebuild_for_view(self, view: MembershipView) -> None:
         # Every row really is held here, so dense storage is the right
         # shape (the quorum router uses the row-sparse variant).

@@ -49,6 +49,24 @@ class QuorumRouter(RouterBase):
 
     kind = RouterKind.QUORUM
 
+    __slots__ = (
+        "grid",
+        "counters",
+        "failover",
+        "_rng",
+        "_extra_servers",
+        "_relay_servers",
+        "_reply_relay",
+        "_last_double_failures",
+        "route_hop",
+        "route_time",
+        "route_sent_at",
+        "route_server",
+        "route_hop2",
+        "route_time2",
+        "route_server2",
+    )
+
     # ------------------------------------------------------------------
     # View handling
     # ------------------------------------------------------------------
@@ -200,7 +218,7 @@ class QuorumRouter(RouterBase):
     # Protocol: periodic tick
     # ------------------------------------------------------------------
     def tick(self) -> None:
-        view = self._require_view()
+        self._require_view()
         self._refresh_own_row()
         self._evaluate_failover()
         self._send_linkstate(self._server_indices())
@@ -210,7 +228,7 @@ class QuorumRouter(RouterBase):
         """Default rendezvous servers plus adopted failover servers."""
         base = list(self.grid.servers(self.me_idx, include_self=False))
         base_set = set(base)
-        extras = [s for s in self._extra_servers if s not in base_set]
+        extras = [s for s in self._extra_servers if s not in base_set]  # reprolint: disable=RL006(int-set order is insertion/value-determined under CPython and already baked into the published tables; sorting would reorder link-state sends and re-baseline every seed)
         return base + extras
 
     def _send_linkstate(self, server_indices: List[int]) -> None:
@@ -564,7 +582,7 @@ class QuorumRouter(RouterBase):
 
     def route_to(self, dst_idx: int) -> Route:
         """Preferred order: fresh recommendation, redundant table, direct."""
-        view = self._require_view()
+        self._require_view()
         if dst_idx == self.me_idx:
             return Route(dst=dst_idx, hop=dst_idx, cost_ms=0.0, source=SOURCE_DIRECT, age_s=0.0)
         now = self.sim.now

@@ -16,7 +16,7 @@ aggregates afterwards.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -59,7 +59,7 @@ ALL_KINDS: Tuple[str, ...] = (
 )
 
 
-class BandwidthRecorder:
+class BandwidthRecorder:  # reprolint: disable=RL002(one recorder per experiment aggregating all nodes)
     """Per-node byte counters in fixed-width time buckets.
 
     Parameters
@@ -215,7 +215,7 @@ class BandwidthRecorder:
         kinds = tuple(kinds) if kinds is not None else ALL_KINDS
         b0, b1 = self._slice(t0, t1)
         summed = np.zeros((self.n, b1 - b0), dtype=np.int64)
-        for (direction, kind), arr in self._bins.items():
+        for (_direction, kind), arr in self._bins.items():
             if kind in kinds:
                 hi = min(b1, arr.shape[1])
                 if hi > b0:
@@ -227,7 +227,7 @@ class BandwidthRecorder:
         return windows.max(axis=1) * 8.0 / window_s
 
 
-class FreshnessRecorder:
+class FreshnessRecorder:  # reprolint: disable=RL002(one recorder per experiment aggregating all nodes)
     """Periodic snapshots of per-(src, dst) recommendation age.
 
     ``sample(now, last_rec_times)`` appends one ``(n, n)`` age matrix.
@@ -298,7 +298,7 @@ class FreshnessRecorder:
         return {key: mat[src] for key, mat in stats.items()}
 
 
-class DisruptionRecorder:
+class DisruptionRecorder:  # reprolint: disable=RL002(one recorder per experiment aggregating all nodes)
     """Per-(src, dst) route availability across membership transitions.
 
     The churn workloads sample, at a fixed period, whether each active
@@ -536,6 +536,8 @@ class DisruptionRecorder:
 
 class CounterSet:
     """Named integer counters (failovers, suppressions, retries, ...)."""
+
+    __slots__ = ("_counts",)
 
     def __init__(self) -> None:
         self._counts: Dict[str, int] = {}

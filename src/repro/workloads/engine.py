@@ -16,7 +16,6 @@ from repro.errors import WorkloadError
 from repro.overlay.harness import Overlay
 from repro.overlay.stats import CounterSet, DisruptionRecorder
 from repro.workloads.trace import (
-    ACTION_FAIL,
     ACTION_JOIN,
     ACTION_LEAVE,
     ChurnEvent,

@@ -32,8 +32,8 @@ symbolically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Set, Tuple
 
 import numpy as np
 

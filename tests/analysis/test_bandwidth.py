@@ -18,7 +18,7 @@ from repro.analysis.capacity import (
     skype_scenario_reduction,
 )
 from repro.errors import ConfigError
-from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.config import RouterKind
 
 
 class TestPaperCoefficients:

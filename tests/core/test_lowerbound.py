@@ -1,9 +1,7 @@
 """Tests for the Appendix A lower-bound machinery."""
 
 import itertools
-import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

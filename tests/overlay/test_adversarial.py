@@ -7,7 +7,7 @@ from repro.errors import ConfigError
 from repro.experiments.adversarial import run_adversarial
 from repro.net.trace import uniform_random_metric
 from repro.overlay.adversarial import MaliciousQuorumRouter
-from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.config import RouterKind
 from repro.overlay.harness import build_overlay
 
 

@@ -5,7 +5,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.net.failures import FailureTable, OutageSchedule
 from repro.net.packet import (
@@ -16,7 +15,6 @@ from repro.net.packet import (
 from repro.net.trace import uniform_random_metric
 from repro.overlay.config import OverlayConfig, RouterKind
 from repro.overlay.harness import build_overlay
-from repro.overlay.router_base import SOURCE_RECOMMENDATION
 
 
 class TestTimestampedRecommendations:

@@ -13,7 +13,7 @@ import pytest
 from repro.core.grid import GridQuorum
 from repro.errors import MembershipError
 from repro.net.simulator import Simulator
-from repro.overlay.membership import MembershipService, MembershipView
+from repro.overlay.membership import MembershipService
 
 
 def random_churn_views(seed, n_pool=24, n_events=60, return_service=False):

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.metrics import PathMetric
-from repro.net.topology import Topology
 from repro.net.trace import SyntheticTrace
 from repro.overlay.config import OverlayConfig, RouterKind
 from repro.overlay.harness import build_overlay

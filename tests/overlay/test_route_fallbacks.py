@@ -1,17 +1,14 @@
 """Edge cases of route selection and router internals."""
 
 import numpy as np
-import pytest
-
 from repro.net.failures import FailureTable, OutageSchedule
 from repro.net.packet import ProbeReply, ProbeRequest
 from repro.net.trace import uniform_random_metric
 from repro.overlay import wire
-from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.config import RouterKind
 from repro.overlay.harness import build_overlay
 from repro.overlay.router_base import (
     SOURCE_DIRECT,
-    SOURCE_RECOMMENDATION,
     SOURCE_REDUNDANT,
     Route,
 )

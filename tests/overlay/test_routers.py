@@ -5,9 +5,8 @@ import pytest
 
 from repro.core.onehop import best_one_hop_all_pairs
 from repro.net.failures import FailureTable, OutageSchedule
-from repro.net.topology import Topology
 from repro.net.trace import uniform_random_metric
-from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.config import RouterKind
 from repro.overlay.harness import build_overlay
 from repro.overlay.router_base import (
     SOURCE_DIRECT,

@@ -1,6 +1,5 @@
 """Tests for the experiment CLI."""
 
-import pathlib
 
 import pytest
 

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.net.failures import build_failure_table
-from repro.net.trace import planetlab_like, uniform_random_metric
+from repro.net.trace import planetlab_like
 from repro.overlay.config import RouterKind
 from repro.overlay.harness import build_overlay
 from repro.overlay.stats import ROUTING_KINDS

@@ -1,0 +1,8 @@
+"""Make the repo root importable so ``tools.reprolint`` resolves."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))

@@ -1,0 +1,5 @@
+"""RL000 true positive: a waiver with an empty reason."""
+
+
+def f(xs=[]):  # reprolint: disable=RL005()
+    return xs

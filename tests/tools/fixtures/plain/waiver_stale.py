@@ -1,0 +1,5 @@
+"""RL000 true positive (full runs): a waiver that suppresses nothing."""
+
+
+def fine() -> int:  # reprolint: disable=RL005(nothing here actually violates the rule)
+    return 1

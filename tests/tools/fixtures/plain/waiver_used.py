@@ -1,0 +1,5 @@
+"""A correctly waived violation: no findings expected on a full run."""
+
+
+def f(xs=[]):  # reprolint: disable=RL005(fixture demonstrating a reasoned waiver)
+    return xs

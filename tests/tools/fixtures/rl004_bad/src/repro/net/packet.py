@@ -1,0 +1,34 @@
+"""RL004 true positives: broken wire-accounting contract."""
+
+from dataclasses import dataclass
+
+from repro.overlay import wire
+
+KIND_PROBE = "probe"
+KIND_ORPHAN = "orphan"  # declared, never returned by any kind property
+
+
+@dataclass(slots=True)
+class Message:
+    origin: int
+
+
+@dataclass(slots=True)
+class ProbeRequest(Message):
+    """Has kind but no wire_size."""
+
+    @property
+    def kind(self) -> str:
+        return KIND_PROBE
+
+
+@dataclass(slots=True)
+class GhostMessage(Message):
+    """References a wire constant that does not exist."""
+
+    @property
+    def kind(self) -> str:
+        return KIND_PROBE
+
+    def wire_size(self) -> int:
+        return wire.MISSING_BYTES

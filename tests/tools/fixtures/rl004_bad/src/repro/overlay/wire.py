@@ -1,0 +1,11 @@
+"""RL004 true positives: encode without decode."""
+
+HEADER_BYTES = 46
+
+
+def encode_linkstate(payload):
+    return payload  # no decode_linkstate anywhere
+
+
+def decode_recommendations(buf):
+    return buf  # no encode_recommendations either

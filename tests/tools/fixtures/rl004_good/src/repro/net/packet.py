@@ -1,0 +1,33 @@
+"""RL004 false-positive guards: a closed wire-accounting contract."""
+
+from dataclasses import dataclass
+
+from repro.overlay import wire
+
+KIND_PROBE = "probe"
+KIND_LINKSTATE = "ls"
+
+
+@dataclass(slots=True)
+class Message:
+    origin: int
+
+
+@dataclass(slots=True)
+class ProbeRequest(Message):
+    @property
+    def kind(self) -> str:
+        return KIND_PROBE
+
+    def wire_size(self) -> int:
+        return wire.HEADER_BYTES
+
+
+@dataclass(slots=True)
+class LinkStateMessage(Message):
+    @property
+    def kind(self) -> str:
+        return KIND_LINKSTATE
+
+    def wire_size(self) -> int:
+        return wire.HEADER_BYTES + wire.LS_ENTRY_BYTES

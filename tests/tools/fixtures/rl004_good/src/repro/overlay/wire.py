@@ -1,0 +1,12 @@
+"""RL004 false-positive guards: paired codecs and real constants."""
+
+HEADER_BYTES = 46
+LS_ENTRY_BYTES = 10
+
+
+def encode_linkstate(payload):
+    return payload
+
+
+def decode_linkstate(buf):
+    return buf

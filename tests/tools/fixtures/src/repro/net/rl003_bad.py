@@ -1,0 +1,17 @@
+"""True positives for RL003: blocking calls in sim-core code."""
+
+import socket  # noqa: F401  (banned import)
+import time
+
+
+def wait_a_bit() -> None:
+    time.sleep(0.1)
+
+
+def read_config() -> str:
+    with open("config.txt") as f:  # blocking builtin
+        return f.read()
+
+
+def slurp(path) -> str:
+    return path.read_text()

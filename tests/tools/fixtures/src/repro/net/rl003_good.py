@@ -1,0 +1,14 @@
+"""False-positive guards for RL003: scheduling is not blocking."""
+
+
+def wait_virtually(sim, fn) -> None:
+    sim.call_at(sim.now + 0.1, fn)
+
+
+def periodic(sim, fn):
+    return sim.periodic(15.0, fn)
+
+
+class Openish:
+    def open_route(self) -> None:  # method named like a builtin is fine
+        pass

@@ -1,0 +1,23 @@
+"""True positives for RL001 (path fragment makes applies() fire)."""
+
+import random  # noqa: F401  (the import itself is the violation)
+import time
+import uuid
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def token() -> str:
+    return str(uuid.uuid4())
+
+
+def noise() -> float:
+    return float(np.random.rand())

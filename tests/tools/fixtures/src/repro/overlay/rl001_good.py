@@ -1,0 +1,19 @@
+"""False-positive guards for RL001: all of this is allowed."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def spawn(seq: np.random.SeedSequence) -> np.random.Generator:
+    return np.random.Generator(np.random.PCG64(seq))
+
+
+def virtual_now(sim) -> float:
+    return sim.now

@@ -1,0 +1,14 @@
+"""True positives for RL002: unslotted classes in an overlay package."""
+
+from dataclasses import dataclass
+
+
+class PerNodeThing:
+    def __init__(self) -> None:
+        self.x = 1
+
+
+@dataclass
+class PerEventRecord:
+    t: float
+    payload: int

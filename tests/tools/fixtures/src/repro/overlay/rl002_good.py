@@ -1,0 +1,29 @@
+"""False-positive guards for RL002: slotted, exempt, and waived forms."""
+
+import enum
+from dataclasses import dataclass
+
+
+class Slotted:
+    __slots__ = ("x",)
+
+    def __init__(self) -> None:
+        self.x = 1
+
+
+@dataclass(slots=True)
+class SlottedRecord:
+    t: float
+
+
+class Kind(enum.Enum):
+    A = "a"
+
+
+class SomethingError(Exception):
+    pass
+
+
+class WaivedSingleton:  # reprolint: disable=RL002(one per experiment in this fixture)
+    def __init__(self) -> None:
+        self.registry = {}

@@ -1,0 +1,24 @@
+"""True positives for RL005: shared mutable defaults."""
+
+import numpy as np
+
+
+def collect(items=[]):
+    items.append(1)
+    return items
+
+
+def tally(counts={}):
+    return counts
+
+
+def pick(pool=set()):
+    return pool
+
+
+def fill(buf=np.zeros(4)):
+    return buf
+
+
+def build(xs=list()):
+    return xs

@@ -1,0 +1,19 @@
+"""False-positive guards for RL005: immutable defaults are fine."""
+
+from typing import Optional, Sequence, Tuple
+
+
+def collect(items: Optional[list] = None) -> list:
+    return [] if items is None else list(items)
+
+
+def window(span: float = 60.0, kinds: Tuple[str, ...] = ("a", "b")) -> float:
+    return span
+
+
+def label(name: str = "x", flag: bool = False) -> str:
+    return name
+
+
+def pick(pool: Sequence[int] = ()) -> Sequence[int]:
+    return pool

@@ -1,0 +1,32 @@
+"""True positives for RL006: unordered iteration into ordered sinks."""
+
+from typing import Set
+
+
+def accumulate(values: Set[int]) -> float:
+    total = 0.0
+    for v in values:  # hash-order accumulation
+        total += 1.0 / (1 + v)
+    return total
+
+
+def materialize() -> list:
+    pending = {3, 1, 2}
+    return list(pending)
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self.active = set()
+
+    def snapshot(self) -> tuple:
+        return tuple(x for x in self.active)
+
+
+def closure_capture():
+    alive = set([1, 2])
+
+    def sample():
+        return [m for m in alive]
+
+    return sample

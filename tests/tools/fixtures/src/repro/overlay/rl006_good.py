@@ -1,0 +1,32 @@
+"""False-positive guards for RL006."""
+
+from typing import Dict, Set
+
+
+def sorted_iteration(values: Set[int]) -> list:
+    return [v for v in sorted(values)]
+
+
+def dict_iteration(d: Dict[int, float]) -> float:
+    total = 0.0
+    for _, v in d.items():  # dicts are insertion-ordered: allowed
+        total += v
+    return total
+
+
+def membership_test(values: Set[int], x: int) -> bool:
+    return x in values  # membership tests don't observe order
+
+
+def scope_isolation() -> tuple:
+    out = (1, 2, 3)  # a tuple named like a set in another function
+    return tuple(m for m in out)
+
+
+def unrelated() -> set:
+    out = set([1])
+    return out
+
+
+def waived(values: Set[int]) -> list:
+    return [v for v in values]  # reprolint: disable=RL006(order provably unobservable in this fixture)

@@ -1,0 +1,71 @@
+"""Engine-level behavior: waiver parsing, discovery, CLI exit codes."""
+
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint.engine import (
+    Finding,
+    discover,
+    load_module,
+    lint_paths,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_waiver_parsing_multiple_codes(tmp_path):
+    f = tmp_path / "m.py"
+    f.write_text(
+        "x = 1  # reprolint: disable=RL001(first reason), RL005(second reason)\n"
+    )
+    mod = load_module(str(f))
+    assert [(w.code, w.reason) for w in mod.waivers] == [
+        ("RL001", "first reason"),
+        ("RL005", "second reason"),
+    ]
+
+
+def test_finding_render_is_clickable():
+    f = Finding(code="RL001", path="src/x.py", line=3, col=4, message="boom")
+    assert f.render() == "src/x.py:3:5: RL001 boom"
+
+
+def test_discover_expands_directories_sorted(tmp_path):
+    (tmp_path / "b.py").write_text("")
+    (tmp_path / "a.py").write_text("")
+    (tmp_path / "notes.txt").write_text("")
+    found = discover([str(tmp_path)])
+    assert [Path(p).name for p in found] == ["a.py", "b.py"]
+
+
+def test_discover_rejects_non_python(tmp_path):
+    (tmp_path / "notes.txt").write_text("")
+    with pytest.raises(FileNotFoundError):
+        discover([str(tmp_path / "notes.txt")])
+
+
+def test_cli_exit_codes(capsys):
+    bad = FIXTURES / "src" / "repro" / "overlay" / "rl005_bad.py"
+    good = FIXTURES / "src" / "repro" / "overlay" / "rl005_good.py"
+    assert main([str(bad), "--select", "RL005"]) == 1
+    out = capsys.readouterr().out
+    assert "RL005" in out
+    assert main([str(good), "--select", "RL005"]) == 0
+
+
+def test_cli_list_checks(capsys):
+    assert main(["--list-checks"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert code in out
+
+
+def test_findings_sorted_and_deterministic():
+    target = FIXTURES / "src" / "repro" / "overlay"
+    first = lint_paths([str(target)], select=["RL005"])
+    second = lint_paths([str(target)], select=["RL005"])
+    assert first == second
+    keys = [(f.path, f.line, f.col, f.code) for f in first]
+    assert keys == sorted(keys)

@@ -1,0 +1,17 @@
+"""The shipped tree must lint clean — this is the CI gate in test form."""
+
+from pathlib import Path
+
+from tools.reprolint.engine import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_lints_clean():
+    findings = lint_paths([str(REPO_ROOT / "src" / "repro")])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_reprolint_itself_lints_clean():
+    findings = lint_paths([str(REPO_ROOT / "tools")])
+    assert findings == [], "\n".join(f.render() for f in findings)

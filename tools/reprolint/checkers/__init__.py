@@ -1,0 +1,27 @@
+"""Checker registry."""
+
+from __future__ import annotations
+
+from typing import List
+
+from tools.reprolint.checkers.base import Checker
+from tools.reprolint.checkers.rl001_determinism import DeterminismChecker
+from tools.reprolint.checkers.rl002_slots import SlotsChecker
+from tools.reprolint.checkers.rl003_blocking import BlockingCallChecker
+from tools.reprolint.checkers.rl004_wire import WireAccountingChecker
+from tools.reprolint.checkers.rl005_defaults import MutableDefaultChecker
+from tools.reprolint.checkers.rl006_ordering import UnorderedIterationChecker
+
+__all__ = ["all_checkers"]
+
+
+def all_checkers() -> List[Checker]:
+    """The full suite, in code order."""
+    return [
+        DeterminismChecker(),
+        SlotsChecker(),
+        BlockingCallChecker(),
+        WireAccountingChecker(),
+        MutableDefaultChecker(),
+        UnorderedIterationChecker(),
+    ]

@@ -1,0 +1,96 @@
+"""Shared checker infrastructure: base class and name-resolution helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.reprolint.engine import Finding, Module
+
+__all__ = ["Checker", "ImportMap", "dotted_path", "resolve_path"]
+
+
+class Checker:
+    """One rule. Subclasses override :meth:`check` and/or :meth:`finalize`."""
+
+    code: str = "RL999"
+    description: str = ""
+
+    def applies(self, module: Module) -> bool:
+        """Whether :meth:`check` should run on this module."""
+        del module
+        return True
+
+    def check(self, module: Module) -> List[Finding]:
+        """Per-module pass."""
+        del module
+        return []
+
+    def finalize(self, modules: Sequence[Module]) -> List[Finding]:
+        """Whole-run pass (for cross-file invariants)."""
+        del modules
+        return []
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def dotted_path(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local alias -> canonical dotted origin for one module.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``;
+    ``from datetime import datetime`` maps ``datetime`` to
+    ``datetime.datetime``; star imports are ignored.
+    """
+
+    def __init__(self, tree: ast.Module):
+        self.aliases: Dict[str, Tuple[str, ...]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = tuple(origin.split("."))
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                base = tuple(node.module.split("."))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = base + (alias.name,)
+
+    def imported_roots(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(self.aliases)
+
+
+def resolve_path(node: ast.AST, imports: ImportMap) -> Optional[Tuple[str, ...]]:
+    """Canonical dotted path of a name chain, expanding import aliases.
+
+    ``np.random.rand`` resolves to ``("numpy", "random", "rand")`` when
+    ``np`` aliases ``numpy``; unknown roots resolve to the literal chain.
+    """
+    path = dotted_path(node)
+    if path is None:
+        return None
+    origin = imports.aliases.get(path[0])
+    if origin is not None:
+        return origin + path[1:]
+    return path

@@ -1,0 +1,126 @@
+"""RL003: no blocking calls inside the simulated world.
+
+Node, router, and monitor code runs inside a discrete-event simulator
+whose clock only advances between events. A real ``time.sleep`` or a
+socket/file round-trip does not advance the virtual clock — it just
+stalls the host process and, worse, smuggles host-dependent latency into
+what should be a fully virtual experiment. All waiting must be expressed
+as scheduled events (``sim.call_at`` / ``PeriodicTimer``); all IO stays
+in the experiment drivers outside ``repro/overlay``/``repro/net``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from tools.reprolint.checkers.base import Checker, ImportMap, resolve_path
+from tools.reprolint.engine import Finding, Module
+
+__all__ = ["BlockingCallChecker"]
+
+#: Modules that exist to do real IO / real concurrency.
+BANNED_MODULES = {
+    "socket",
+    "select",
+    "selectors",
+    "ssl",
+    "http",
+    "urllib",
+    "requests",
+    "subprocess",
+    "threading",
+    "multiprocessing",
+}
+
+#: Specific blocking calls (after alias expansion).
+BANNED_PATHS: Set[Tuple[str, ...]] = {
+    ("time", "sleep"),
+    ("os", "system"),
+    ("os", "popen"),
+    ("os", "fork"),
+    ("os", "wait"),
+    ("os", "waitpid"),
+}
+
+#: File-IO method names: flagged as calls on any receiver. Type-blind by
+#: design — nothing in the sim core should have methods by these names.
+BANNED_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+#: Blocking builtins when called.
+BANNED_BUILTINS = {"open", "input"}
+
+
+class BlockingCallChecker(Checker):
+    code = "RL003"
+    description = (
+        "no blocking calls (sleep, sockets, file IO, subprocesses) in "
+        "simulator/node/router/monitor code — schedule events instead"
+    )
+
+    def applies(self, module: Module) -> bool:
+        return module.in_package("repro/overlay", "repro/net")
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        imports = ImportMap(module.tree)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in BANNED_MODULES:
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"import of `{alias.name}` in sim code; real IO/"
+                                "concurrency is confined to experiment drivers",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                if node.module.split(".")[0] in BANNED_MODULES:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"import from `{node.module}` in sim code; real IO/"
+                            "concurrency is confined to experiment drivers",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                path = resolve_path(func, imports)
+                if path in BANNED_PATHS:
+                    dotted = ".".join(path)
+                    hint = (
+                        "schedule an event (sim.call_at / PeriodicTimer) instead"
+                        if path == ("time", "sleep")
+                        else "this belongs in an experiment driver, not sim code"
+                    )
+                    findings.append(
+                        self.finding(module, func, f"blocking call `{dotted}`; {hint}")
+                    )
+                elif isinstance(func, ast.Name) and func.id in BANNED_BUILTINS:
+                    findings.append(
+                        self.finding(
+                            module,
+                            func,
+                            f"blocking builtin `{func.id}()` in sim code; file/"
+                            "console IO belongs in experiment drivers",
+                        )
+                    )
+                elif isinstance(func, ast.Attribute) and func.attr in BANNED_METHODS:
+                    findings.append(
+                        self.finding(
+                            module,
+                            func,
+                            f"file IO method `.{func.attr}()` in sim code; IO "
+                            "belongs in experiment drivers",
+                        )
+                    )
+        return findings

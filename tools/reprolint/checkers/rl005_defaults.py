@@ -1,0 +1,85 @@
+"""RL005: no mutable (or ndarray) default arguments.
+
+A mutable default is evaluated once at ``def`` time and shared by every
+call — per-node state leaking through a shared default list/dict/array
+is exactly the kind of cross-node aliasing that corrupts an experiment
+without crashing it. ndarrays are singled out because ``def f(x=
+np.zeros(4))`` additionally hides an allocation whose contents every
+caller can mutate in place.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from tools.reprolint.checkers.base import Checker, ImportMap, resolve_path
+from tools.reprolint.engine import Finding, Module
+
+__all__ = ["MutableDefaultChecker"]
+
+#: Constructor names whose result is mutable when used as a default.
+MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "Counter",
+    "OrderedDict",
+}
+
+
+def _mutable_reason(node: ast.AST, imports: ImportMap) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        kind = {ast.List: "list", ast.Dict: "dict", ast.Set: "set"}[type(node)]
+        return f"{kind} literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        path = resolve_path(node.func, imports)
+        if path is None:
+            return None
+        if path[0] == "numpy":
+            return f"ndarray from `{'.'.join(path)}(...)`"
+        if path[-1] in MUTABLE_CONSTRUCTORS:
+            return f"`{path[-1]}(...)` call"
+    return None
+
+
+class MutableDefaultChecker(Checker):
+    code = "RL005"
+    description = (
+        "no mutable or np.ndarray default arguments — defaults are shared "
+        "across calls; use None and construct inside the function"
+    )
+
+    def check(self, module: Module) -> List[Finding]:
+        findings: List[Finding] = []
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                reason = _mutable_reason(default, imports)
+                if reason is not None:
+                    where = (
+                        f"in `{node.name}`"
+                        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        else "in lambda"
+                    )
+                    findings.append(
+                        self.finding(
+                            module,
+                            default,
+                            f"mutable default ({reason}) {where}; the object is "
+                            "created once and shared by every call — default to "
+                            "None and build it inside the body",
+                        )
+                    )
+        return findings

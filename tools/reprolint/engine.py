@@ -1,0 +1,223 @@
+"""Checker harness: file discovery, waiver handling, reporting, CLI."""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "Module",
+    "Waiver",
+    "lint_paths",
+    "main",
+]
+
+#: ``# reprolint: disable=RLxxx(reason), RLyyy(another reason)``
+_WAIVER_RE = re.compile(r"#\s*reprolint:\s*disable=(.*)$")
+_WAIVER_ITEM_RE = re.compile(r"(RL\d{3})\s*\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+
+@dataclass
+class Waiver:
+    """An inline ``# reprolint: disable=RLxxx(reason)`` annotation."""
+
+    path: str
+    line: int
+    code: str
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class Module:
+    """A parsed source file, as handed to each checker."""
+
+    path: str
+    tree: ast.Module
+    lines: List[str]
+    waivers: List[Waiver] = field(default_factory=list)
+
+    @property
+    def posix_path(self) -> str:
+        return Path(self.path).as_posix()
+
+    def in_package(self, *fragments: str) -> bool:
+        """Whether this file lives under any of the given path fragments
+        (e.g. ``"repro/overlay/"``), anchored at a path separator."""
+        p = "/" + self.posix_path
+        return any(f"/{frag.strip('/')}/" in p for frag in fragments)
+
+
+def _parse_waivers(path: str, lines: Sequence[str]) -> List[Waiver]:
+    waivers: List[Waiver] = []
+    for lineno, text in enumerate(lines, start=1):
+        m = _WAIVER_RE.search(text)
+        if m is None:
+            continue
+        for code, reason in _WAIVER_ITEM_RE.findall(m.group(1)):
+            waivers.append(
+                Waiver(path=path, line=lineno, code=code, reason=reason.strip())
+            )
+    return waivers
+
+
+def load_module(path: str) -> Module:
+    """Parse one file into the representation checkers consume."""
+    source = Path(path).read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    return Module(path=path, tree=tree, lines=lines, waivers=_parse_waivers(path, lines))
+
+
+def discover(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(str(f) for f in sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(str(p))
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+    return out
+
+
+def _apply_waivers(
+    modules: Sequence[Module], findings: Iterable[Finding]
+) -> List[Finding]:
+    """Suppress findings covered by a same-line waiver for their code."""
+    by_loc: Dict[Tuple[str, int, str], List[Waiver]] = {}
+    for mod in modules:
+        for w in mod.waivers:
+            by_loc.setdefault((w.path, w.line, w.code), []).append(w)
+    kept: List[Finding] = []
+    for f in findings:
+        waivers = by_loc.get((f.path, f.line, f.code))
+        if waivers:
+            for w in waivers:
+                w.used = True
+        else:
+            kept.append(f)
+    return kept
+
+
+def _waiver_findings(modules: Sequence[Module], full_run: bool) -> List[Finding]:
+    """RL000: waivers must carry a reason and must suppress something."""
+    out: List[Finding] = []
+    for mod in modules:
+        for w in mod.waivers:
+            if not w.reason:
+                out.append(
+                    Finding(
+                        code="RL000",
+                        path=w.path,
+                        line=w.line,
+                        col=0,
+                        message=(
+                            f"waiver for {w.code} has no reason; write "
+                            f"`# reprolint: disable={w.code}(why this is sound)`"
+                        ),
+                    )
+                )
+            elif full_run and not w.used:
+                out.append(
+                    Finding(
+                        code="RL000",
+                        path=w.path,
+                        line=w.line,
+                        col=0,
+                        message=(
+                            f"waiver for {w.code} suppresses nothing "
+                            "(stale waiver — remove it)"
+                        ),
+                    )
+                )
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str], select: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run the checker suite over ``paths``; return unwaived findings.
+
+    ``select`` restricts the run to the given checker codes (waiver
+    hygiene then skips the stale-waiver check, since a partial run
+    cannot tell whether a waiver is stale).
+    """
+    from tools.reprolint.checkers import all_checkers
+
+    checkers = all_checkers()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {c.code for c in checkers}
+        if unknown:
+            raise ValueError(f"unknown checker codes: {sorted(unknown)}")
+        checkers = [c for c in checkers if c.code in wanted]
+    modules = [load_module(p) for p in discover(paths)]
+
+    raw: List[Finding] = []
+    for checker in checkers:
+        for mod in modules:
+            if checker.applies(mod):
+                raw.extend(checker.check(mod))
+        raw.extend(checker.finalize(modules))
+
+    findings = _apply_waivers(modules, raw)
+    findings += _waiver_findings(modules, full_run=select is None)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from tools.reprolint.checkers import all_checkers
+
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-specific static analysis (determinism, slots, "
+        "simulator discipline, wire accounting).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"], help="files or directories")
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated checker codes to run (e.g. RL001,RL005)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="list checkers and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for checker in all_checkers():
+            print(f"{checker.code}  {checker.description}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    findings = lint_paths(args.paths or ["src/repro"], select=select)
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"reprolint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
