@@ -16,6 +16,8 @@ Usage (also via ``python -m repro``)::
     repro-experiments membership               # view-delta scaling sweep
     repro-experiments membership --smoke       # fast n=256-only CI path
     repro-experiments membership --in-band     # updates on the lossy wire
+    repro-experiments failover                 # replicated-coordinator faults
+    repro-experiments failover --smoke         # crash+partition CI subset
     repro-experiments perf                     # scale runs + BENCH_PR4.json
     repro-experiments perf --smoke             # fast n=256 CI variant
     repro-experiments all                      # everything above
@@ -247,6 +249,32 @@ def _cmd_membership(args: argparse.Namespace) -> None:
             )
 
 
+def _cmd_failover(args: argparse.Namespace) -> None:
+    from repro.experiments.coordinator_failover import (
+        format_failover_scenarios,
+        run_failover_scenarios,
+    )
+
+    # The scenario table is the deliverable; write it under results/
+    # unless redirected (CI's smoke run passes --out and uploads it).
+    out = args.out if args.out is not None else pathlib.Path("results")
+    results = run_failover_scenarios(
+        n=args.n or 48, seed=args.seed, smoke=args.smoke
+    )
+    name = (
+        "table_coordinator_failover_smoke"
+        if args.smoke
+        else "table_coordinator_failover"
+    )
+    _write(out, name, format_failover_scenarios(results))
+    failed = [r.name for r in results if not r.passed]
+    if failed:
+        raise SystemExit(
+            "failover scenario(s) failed to converge cleanly: "
+            + ", ".join(failed)
+        )
+
+
 def _cmd_perf(args: argparse.Namespace) -> None:
     from repro.experiments.perf_scaling import run_perf_suite
 
@@ -295,6 +323,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "capacity": _cmd_capacity,
     "churn": _cmd_churn,
     "fig1": _cmd_fig1,
+    "failover": _cmd_failover,
     "fig9": _cmd_fig9,
     "deployment": _cmd_deployment,
     "membership": _cmd_membership,
@@ -339,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="membership/perf: fast CI path (n=256 only)",
+        help="membership/perf/failover: fast CI path (smaller runs)",
     )
     parser.add_argument(
         "--in-band",

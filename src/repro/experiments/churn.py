@@ -19,6 +19,12 @@ These experiments drive the §5 membership machinery hard, replaying
   (windows where live nodes held different view versions, and the
   routing disagreement inside them).
 
+Unless a caller overrides ``config``, churn runs default to delta
+publication with in-band wire delivery (``membership_deltas=True``,
+``membership_in_band=True``) — the hardened plane a deployment would
+actually run; the explicit in-band comparison above keeps its own
+side-by-side configs.
+
 "Disrupted" is judged against ground truth: a pair counts as disrupted
 while the source's *chosen* route does not actually work on the current
 underlay (for example, it still forwards through a crashed node). The
@@ -57,6 +63,19 @@ __all__ = [
 
 SAMPLE_PERIOD_S = 5.0
 ROUTERS: Tuple[RouterKind, ...] = (RouterKind.QUORUM, RouterKind.FULL_MESH)
+
+
+def _default_churn_config() -> OverlayConfig:
+    """Default membership plane for the churn experiments.
+
+    Churn runs now exercise the hardened plane by default: view *deltas*
+    (not full views) and *in-band* wire delivery, the combination every
+    real deployment would run. The underlays here are lossless, so the
+    comparison against the out-of-band callback numbers isolates pure
+    delivery latency; pass an explicit ``config`` to reproduce the old
+    out-of-band tables.
+    """
+    return OverlayConfig(membership_deltas=True, membership_in_band=True)
 
 
 @dataclass
@@ -125,6 +144,7 @@ def run_churn_run(
     config: Optional[OverlayConfig] = None,
 ) -> ChurnRunStats:
     """Replay one churn trace on a fresh overlay and summarize it."""
+    config = config if config is not None else _default_churn_config()
     rng = np.random.default_rng(seed)
     net = planetlab_like(churn.n, rng, base_loss=0.0, lossy_fraction=0.0)
     overlay = build_overlay(
@@ -423,6 +443,7 @@ def run_flash_crowd(
     config: Optional[OverlayConfig] = None,
 ) -> FlashCrowdResult:
     """A quarter of the overlay (by default) arrives within 5 seconds."""
+    config = config if config is not None else _default_churn_config()
     count = count if count is not None else max(1, n // 4)
     churn = ChurnTrace.flash_crowd(
         n=n, count=count, at_s=at_s, duration_s=at_s + 60.0, seed=seed

@@ -33,6 +33,7 @@ __all__ = [
     "FailureTable",
     "assign_node_classes",
     "build_failure_table",
+    "build_partition_table",
     "schedule_from_episodes",
 ]
 
@@ -320,3 +321,39 @@ def build_failure_table(
             if sched:
                 link_schedules[(i, j)] = sched
     return FailureTable(n=n, link_schedules=link_schedules)
+
+
+def build_partition_table(
+    n: int,
+    cuts: Sequence[Tuple[float, float, Sequence[int], Sequence[int]]],
+) -> FailureTable:
+    """A failure table injecting network partitions.
+
+    Each cut is ``(start, end, side_a, side_b)``: during ``[start, end)``
+    every link with one endpoint in ``side_a`` and the other in
+    ``side_b`` is down (links within one side stay up). Sides need not
+    exhaust the nodes, and multiple cuts may overlap — each cross link
+    accumulates the union of its cut windows. The coordinator-failover
+    scenarios use this to sever coordinators from node subsets and to
+    split the membership plane into conflicting halves.
+    """
+    windows: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+    for start, end, side_a, side_b in cuts:
+        if end <= start:
+            raise TopologyError(f"bad cut window [{start}, {end})")
+        a = sorted(set(side_a))
+        b = sorted(set(side_b))
+        if set(a) & set(b):
+            raise TopologyError("cut sides must be disjoint")
+        for i in a:
+            for j in b:
+                if not (0 <= i < n and 0 <= j < n):
+                    raise TopologyError(f"cut node out of range for n={n}")
+                key = (i, j) if i < j else (j, i)
+                windows.setdefault(key, []).append((float(start), float(end)))
+    return FailureTable(
+        n=n,
+        link_schedules={
+            key: OutageSchedule(intervals) for key, intervals in windows.items()
+        },
+    )

@@ -26,6 +26,10 @@ __all__ = [
     "MembershipUpdate",
     "MembershipDelta",
     "MembershipRefresh",
+    "MembershipAck",
+    "CoordinatorHeartbeat",
+    "CoordinatorPull",
+    "CoordinatorReplicate",
     "KIND_PROBE",
     "KIND_LINKSTATE",
     "KIND_RECOMMENDATION",
@@ -192,13 +196,17 @@ class MembershipUpdate(Message):
 
     version: int = 0
     members: Tuple[int, ...] = ()
+    #: Coordinator epoch (0 = the unreplicated legacy coordinator, which
+    #: costs nothing extra on the wire; replicated groups start at 1).
+    epoch: int = 0
 
     @property
     def kind(self) -> str:
         return KIND_MEMBERSHIP
 
     def wire_size(self) -> int:
-        return wire.membership_message_bytes(len(self.members))
+        base = wire.membership_message_bytes(len(self.members))
+        return base + (wire.EPOCH_BYTES if self.epoch else 0)
 
 
 @dataclass(slots=True)
@@ -214,13 +222,16 @@ class MembershipDelta(Message):
     to_version: int = 0
     joined: Tuple[int, ...] = ()
     left: Tuple[int, ...] = ()
+    #: Coordinator epoch; deltas only apply within one epoch.
+    epoch: int = 0
 
     @property
     def kind(self) -> str:
         return KIND_MEMBERSHIP
 
     def wire_size(self) -> int:
-        return wire.membership_delta_message_bytes(len(self.joined), len(self.left))
+        base = wire.membership_delta_message_bytes(len(self.joined), len(self.left))
+        return base + (wire.EPOCH_BYTES if self.epoch else 0)
 
 
 @dataclass(slots=True)
@@ -234,10 +245,103 @@ class MembershipRefresh(Message):
     """
 
     view_version: int = 0
+    #: Epoch of the held view (0 = none / legacy coordinator).
+    epoch: int = 0
 
     @property
     def kind(self) -> str:
         return KIND_MEMBERSHIP_CTRL
 
     def wire_size(self) -> int:
-        return wire.membership_refresh_message_bytes()
+        base = wire.membership_refresh_message_bytes()
+        return base + (wire.EPOCH_BYTES if self.epoch else 0)
+
+
+@dataclass(slots=True)
+class MembershipAck(Message):
+    """A coordinator's acknowledgement of a member's refresh.
+
+    Only sent by replicated coordinator groups (``num_coordinators > 1``).
+    ``leader`` names the coordinator address the member should be talking
+    to: the primary acks with its own address, while a backup receiving a
+    misdirected refresh acks with a redirect to its believed primary.
+    Members use acks (and view pushes) as proof-of-life for failover
+    detection.
+    """
+
+    epoch: int = 0
+    version: int = 0
+    leader: int = -1
+
+    @property
+    def kind(self) -> str:
+        return KIND_MEMBERSHIP_CTRL
+
+    def wire_size(self) -> int:
+        return wire.membership_ack_message_bytes()
+
+
+@dataclass(slots=True)
+class CoordinatorHeartbeat(Message):
+    """Primary-to-replica proof of life carrying the log head position."""
+
+    epoch: int = 0
+    version: int = 0
+
+    @property
+    def kind(self) -> str:
+        return KIND_MEMBERSHIP_CTRL
+
+    def wire_size(self) -> int:
+        return wire.coordinator_sync_message_bytes()
+
+
+@dataclass(slots=True)
+class CoordinatorPull(Message):
+    """A replica's request for a full state snapshot from the primary.
+
+    Sent when the replica's mirrored log cannot bridge to the primary's
+    advertised ``(epoch, version)`` (lost replication messages, or a
+    replica rejoining after a crash).
+    """
+
+    epoch: int = 0
+    version: int = 0
+
+    @property
+    def kind(self) -> str:
+        return KIND_MEMBERSHIP_CTRL
+
+    def wire_size(self) -> int:
+        return wire.coordinator_sync_message_bytes()
+
+
+@dataclass(slots=True)
+class CoordinatorReplicate(Message):
+    """Primary-to-replica log replication: one transition or a snapshot.
+
+    A delta replication (``from_version >= 0``) mirrors a single
+    published :class:`MembershipDelta`; a snapshot (``from_version < 0``)
+    carries the full member set at ``version`` and resets the replica's
+    mirror (used at bootstrap, after pulls, and across epoch changes).
+    """
+
+    epoch: int = 0
+    version: int = 0
+    members: Tuple[int, ...] = ()
+    from_version: int = -1
+    joined: Tuple[int, ...] = ()
+    left: Tuple[int, ...] = ()
+
+    @property
+    def is_delta(self) -> bool:
+        return self.from_version >= 0
+
+    @property
+    def kind(self) -> str:
+        return KIND_MEMBERSHIP
+
+    def wire_size(self) -> int:
+        return wire.coordinator_replicate_message_bytes(
+            len(self.members), len(self.joined), len(self.left), self.is_delta
+        )

@@ -55,7 +55,7 @@ class MaliciousQuorumRouter(QuorumRouter):
             msg = RecommendationMessage(
                 origin=self.me,
                 entries=entries,
-                view_version=view.version,
+                view_version=self.wire_view_version(),
                 sent_at=now,
                 timestamped=self.config.timestamped_recommendations,
             )

@@ -77,6 +77,39 @@ class OverlayConfig:
     #: Debug assertion path: after every incremental grid update, prove
     #: the delta-applied grid identical to a from-scratch construction.
     membership_grid_checks: bool = False
+    #: Replicated membership: number of coordinator endpoints. With the
+    #: default 1 the single in-process coordinator is used unchanged (every
+    #: existing table stays byte-identical). With k > 1 a primary publishes
+    #: views as today while k-1 replicas mirror the view log over the wire
+    #: and take over (with an epoch bump) when the primary goes silent.
+    #: Requires ``membership_in_band`` — failover is a wire protocol.
+    num_coordinators: int = 1
+    #: Replicated membership: a node that has heard nothing from its
+    #: current coordinator (view pushes or refresh acks) for this long
+    #: fails over to the next coordinator address in the ring.
+    membership_failover_timeout_s: float = 30.0
+    #: Failover retry backoff: first retry delay; doubles per attempt.
+    membership_retry_base_s: float = 2.0
+    #: Failover retry backoff cap.
+    membership_retry_max_s: float = 30.0
+    #: Failover retry jitter: each delay is stretched by a uniform factor
+    #: in ``[1, 1 + jitter]`` so a coordinator crash does not make every
+    #: member retry in lockstep.
+    membership_retry_jitter: float = 0.5
+    #: Expiry grace multiplier applied while the coordinator itself looks
+    #: partitioned or freshly promoted (it heard *no* member heartbeat for
+    #: over one heartbeat interval, or is inside its post-promotion grace
+    #: window): the refresh timeout is stretched by this factor so a
+    #: coordinator outage cannot mass-expire healthy members. Only
+    #: consulted on the in-band plane; 1.0 disables the grace.
+    membership_expiry_grace: float = 4.0
+    #: Replicated membership: primary-to-replica heartbeat period.
+    coordinator_heartbeat_s: float = 10.0
+    #: Replicated membership: a replica that heard nothing from the
+    #: primary for ``rank * this`` promotes itself (rank = its distance
+    #: after the primary in the ring, staggering candidates so the first
+    #: live replica wins without an election protocol).
+    coordinator_promote_timeout_s: float = 30.0
     #: Freshness sampling period used by the evaluation (§6.2.2: 30 s).
     freshness_sample_s: float = 30.0
     #: Bandwidth accounting bucket width (seconds).
@@ -113,6 +146,11 @@ class OverlayConfig:
             "rec_memory_intervals": self.rec_memory_intervals,
             "remote_timeout_intervals": self.remote_timeout_intervals,
             "membership_timeout_s": self.membership_timeout_s,
+            "membership_failover_timeout_s": self.membership_failover_timeout_s,
+            "membership_retry_base_s": self.membership_retry_base_s,
+            "membership_retry_max_s": self.membership_retry_max_s,
+            "coordinator_heartbeat_s": self.coordinator_heartbeat_s,
+            "coordinator_promote_timeout_s": self.coordinator_promote_timeout_s,
             "freshness_sample_s": self.freshness_sample_s,
             "bandwidth_bucket_s": self.bandwidth_bucket_s,
         }
@@ -121,6 +159,21 @@ class OverlayConfig:
                 raise ConfigError(f"{name} must be positive, got {value}")
         if self.membership_notify_batch_s < 0:
             raise ConfigError("membership_notify_batch_s must be non-negative")
+        if self.num_coordinators < 1:
+            raise ConfigError("num_coordinators must be >= 1")
+        if self.num_coordinators > 1 and not self.membership_in_band:
+            raise ConfigError(
+                "num_coordinators > 1 requires membership_in_band: "
+                "replica mirroring and failover are wire protocols"
+            )
+        if self.membership_retry_jitter < 0:
+            raise ConfigError("membership_retry_jitter must be non-negative")
+        if self.membership_expiry_grace < 1.0:
+            raise ConfigError("membership_expiry_grace must be >= 1")
+        if self.membership_retry_max_s < self.membership_retry_base_s:
+            raise ConfigError(
+                "membership_retry_max_s must be >= membership_retry_base_s"
+            )
         if self.probes_to_fail < 1:
             raise ConfigError("probes_to_fail must be >= 1")
         if not 0.0 < self.ewma_alpha <= 1.0:

@@ -9,7 +9,7 @@ overlay nodes with staggered timer phases — and returns an
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.net.topology import Topology
 from repro.net.trace import SyntheticTrace, planetlab_like
 from repro.net.transport import DatagramTransport
 from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.coordination import CoordinatorGroup
 from repro.overlay.membership import MembershipService
 from repro.overlay.node import OverlayNode
 from repro.overlay.router_quorum import QuorumRouter
@@ -51,7 +52,7 @@ class Overlay:  # reprolint: disable=RL002(one harness object per experiment; ne
         router_kind: RouterKind,
         bandwidth: BandwidthRecorder,
         freshness: Optional[FreshnessRecorder],
-        membership: MembershipService,
+        membership: Union[MembershipService, CoordinatorGroup],
         active: Optional[Iterable[int]] = None,
         lifecycle_rng: Optional[np.random.Generator] = None,
     ):
@@ -200,13 +201,16 @@ class Overlay:  # reprolint: disable=RL002(one harness object per experiment; ne
         Feeds the :class:`DisruptionRecorder` view-divergence metric:
         with in-band (lossy) membership delivery, live nodes transiently
         hold different versions until the reliability layer repairs the
-        gap.
+        gap. With replicated coordinators the coordinator epoch is
+        packed into the high bits — two nodes agree only when they hold
+        the same ``(epoch, version)`` pair; epoch 0 leaves legacy
+        values untouched.
         """
         versions = np.full(self.n, -1, dtype=np.int64)
         for i in sorted(self.active):
             node = self.nodes[i]
             if node.started and node.router.view is not None:
-                versions[i] = node.router.view.version
+                versions[i] = (node.held_epoch << 32) | node.router.view.version
         return versions
 
     # ------------------------------------------------------------------
@@ -380,18 +384,39 @@ def build_overlay(
     transport = DatagramTransport(
         sim, topology, np.random.default_rng(rng.integers(2**63)), bandwidth
     )
-    membership = MembershipService(
-        sim,
-        timeout_s=config.membership_timeout_s,
-        deltas=config.membership_deltas,
-        notify_batch_s=config.membership_notify_batch_s,
-        bandwidth=bandwidth,
-    )
-    if config.membership_in_band:
-        # The coordinator answers at address n (one past the node ids)
-        # and shares node 0's links: view updates are real datagrams on
-        # the same lossy wire the overlay routes over.
-        membership.attach_transport(transport, address=n, host=0)
+    def _make_service() -> MembershipService:
+        return MembershipService(
+            sim,
+            timeout_s=config.membership_timeout_s,
+            deltas=config.membership_deltas,
+            notify_batch_s=config.membership_notify_batch_s,
+            bandwidth=bandwidth,
+            expiry_grace=config.membership_expiry_grace,
+        )
+
+    membership: Union[MembershipService, CoordinatorGroup]
+    if config.num_coordinators > 1:
+        # Replicated membership: k coordinator endpoints at addresses
+        # n..n+k-1, hosted on a spread of underlay nodes so one host
+        # outage cannot take the whole membership plane down. Index 0
+        # is the initial primary; the others mirror its view log.
+        k = config.num_coordinators
+        membership = CoordinatorGroup(
+            sim,
+            transport,
+            addresses=tuple(n + i for i in range(k)),
+            hosts=tuple((i * n) // k for i in range(k)),
+            service_factory=_make_service,
+            heartbeat_s=config.coordinator_heartbeat_s,
+            promote_timeout_s=config.coordinator_promote_timeout_s,
+        )
+    else:
+        membership = _make_service()
+        if config.membership_in_band:
+            # The coordinator answers at address n (one past the node
+            # ids) and shares node 0's links: view updates are real
+            # datagrams on the same lossy wire the overlay routes over.
+            membership.attach_transport(transport, address=n, host=0)
 
     malicious_set = set(malicious)
     if malicious_set and router is not RouterKind.QUORUM:
@@ -426,7 +451,17 @@ def build_overlay(
         return _refresh
 
     for node in nodes:
-        if config.membership_in_band:
+        if isinstance(membership, CoordinatorGroup):
+            # Replicated membership: each node heartbeats the primary
+            # and walks the coordinator ring (with jittered backoff)
+            # when it goes silent. The per-node jitter rng draws exist
+            # only on this path, so num_coordinators=1 runs keep their
+            # exact RNG streams.
+            node.configure_ring(
+                membership.addresses,
+                np.random.default_rng(rng.integers(2**63)),
+            )
+        elif config.membership_in_band:
             # Heartbeats are wire messages to the coordinator endpoint,
             # piggybacking the held view version (the gap detector).
             node.membership_addr = membership.address

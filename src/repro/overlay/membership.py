@@ -194,6 +194,15 @@ ViewUpdate = Union[MembershipView, ViewDelta]
 ViewCallback = Callable[[ViewUpdate], None]
 
 
+def _noop_view(update: ViewUpdate) -> None:
+    """Placeholder subscriber callback for in-band members.
+
+    On the in-band plane delivery goes over the transport to the member's
+    address; the callback is only consulted out-of-band. Readmitted and
+    adopted members therefore subscribe with this no-op.
+    """
+
+
 def _coalesce_into(
     joined: set, left: set, new_joined: Tuple[int, ...], new_left: Tuple[int, ...]
 ) -> None:
@@ -245,11 +254,14 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
         notify_batch_s: float = 0.0,
         delta_log_versions: int = 64,
         bandwidth: Optional[BandwidthRecorder] = None,
+        expiry_grace: float = 1.0,
     ):
         if timeout_s <= 0 or notify_delay_s < 0 or notify_batch_s < 0:
             raise MembershipError("bad membership service timing parameters")
         if delta_log_versions < 1:
             raise MembershipError("delta_log_versions must be >= 1")
+        if expiry_grace < 1.0:
+            raise MembershipError("expiry_grace must be >= 1")
         self._sim = sim
         self._timeout_s = timeout_s
         self._notify_delay_s = notify_delay_s
@@ -275,6 +287,23 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
         #: In-band delivery plane (None = out-of-band callbacks).
         self._transport: Optional["DatagramTransport"] = None
         self.address: Optional[int] = None
+        #: Coordinator epoch: 0 for the unreplicated legacy coordinator
+        #: (zero wire cost, unchanged tables); replicated authorities
+        #: start at 1 and bump on every failover promotion. Views order
+        #: by ``(epoch, version)`` lexicographically.
+        self._epoch = 0
+        self._expiry_grace = expiry_grace
+        #: Last time *any* member heartbeat reached this service — total
+        #: silence is the signature of the coordinator (not the members)
+        #: being partitioned, which gates the expiry grace multiplier.
+        self._last_heard = sim.now
+        #: Post-promotion grace deadline: until then expiry is stretched
+        #: so members that were still heartbeating the dead primary are
+        #: not mass-expired before their failover finds us.
+        self._grace_until = 0.0
+        #: Replication hook: called with each published ViewDelta (after
+        #: the flush) so a coordinator can mirror its log to replicas.
+        self.on_publish: Optional[Callable[[ViewDelta], None]] = None
         self.stats = CounterSet()
         self._expiry_timer = sim.periodic(
             expiry_check_s, self._expire_stale, phase=expiry_check_s
@@ -290,8 +319,22 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
         """Whether view updates travel the overlay wire."""
         return self._transport is not None
 
+    @property
+    def epoch(self) -> int:
+        """The coordinator epoch this service publishes under."""
+        return self._epoch
+
+    @property
+    def delta_log(self) -> Tuple[ViewDelta, ...]:
+        """The retained single-version transitions (oldest first)."""
+        return tuple(self._log)
+
     def attach_transport(
-        self, transport: "DatagramTransport", address: int, host: int = 0
+        self,
+        transport: "DatagramTransport",
+        address: int,
+        host: int = 0,
+        register: bool = True,
     ) -> None:
         """Become an addressable endpoint: view updates go on the wire.
 
@@ -306,19 +349,27 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
         calling :meth:`refresh` directly. ``bootstrap`` stays
         synchronous either way — it models out-of-band provisioning of
         the initial population, not a protocol exchange.
+
+        With ``register=False`` the service binds to an address whose
+        endpoint registration is owned by someone else (a replicated
+        :class:`~repro.overlay.coordination.Coordinator`, which multiplexes
+        its own control traffic and the service's on one endpoint).
         """
         if self._transport is not None:
             raise MembershipError("membership service already has a transport")
         self._transport = transport
         self.address = address
-        transport.register_endpoint(address, host, self.handle_message)
+        if register:
+            transport.register_endpoint(address, host, self.handle_message)
 
     def handle_message(self, msg: Message, src: int) -> None:
         """Transport delivery handler for the coordinator endpoint."""
         if isinstance(msg, MembershipRefresh):
-            self.handle_refresh(msg.origin, msg.view_version)
+            self.handle_refresh(msg.origin, msg.view_version, msg.epoch)
 
-    def handle_refresh(self, member: int, held_version: int) -> None:
+    def handle_refresh(
+        self, member: int, held_version: int, held_epoch: int = 0
+    ) -> None:
         """An in-band refresh: heartbeat plus held-view piggyback.
 
         Non-members (expelled nodes whose eviction notice was lost, or
@@ -327,8 +378,23 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
         grid forever. For members, a ``held_version`` behind the
         published version reveals that a view update was lost on the
         wire; the coordinator re-sends the smallest bridging update.
+
+        A replicated authority (``epoch >= 1``) additionally *readmits*
+        non-members: a refresh proves the node alive, so whatever removed
+        it from the view — expiry during a coordinator outage, a
+        conflicting view published by a since-deposed primary — was
+        wrong, and it implicitly re-joins rather than being told it is
+        out. Crashed nodes never refresh, and voluntary leaves stop
+        heartbeating first, so only wrongly-expelled members take this
+        path.
         """
+        self._last_heard = self._sim.now
         if member not in self._last_refresh:
+            if self._epoch >= 1:
+                self.stats.incr("readmissions")
+                callback = self._parting.pop(member, None) or _noop_view
+                self.join(member, callback)
+                return
             self.stats.incr("refresh_from_nonmember")
             if member not in self._parting:
                 # Already out of the published view: re-send the "you
@@ -344,12 +410,18 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
             # Its admission is still buffered in the batching window; the
             # view including it will be pushed at the flush.
             return
-        if held_version >= self._version:
+        if held_epoch > self._epoch:
+            # The member is ahead of us — we are a deposed primary that
+            # has not fenced itself yet. Nothing useful to send.
+            return
+        if held_epoch == self._epoch and held_version >= self._version:
             return
         # Gap repair: bridge from what the member actually holds (the
         # delivered-version bookkeeping lies when pushes were lost).
+        # Deltas only chain within one epoch; an epoch crossing always
+        # falls back to the full view.
         update: Optional[ViewUpdate] = None
-        if self._deltas and held_version > 0:
+        if self._deltas and held_epoch == self._epoch and held_version > 0:
             update = self._coalesce_since(held_version)
             if update is None:
                 self.stats.incr("view_gap_fallbacks")
@@ -458,6 +530,69 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
         self._flush()
 
     # ------------------------------------------------------------------
+    # Replication support (coordinator failover)
+    # ------------------------------------------------------------------
+    def adopt(
+        self,
+        view: MembershipView,
+        log: Tuple[ViewDelta, ...],
+        epoch: int,
+    ) -> None:
+        """Install mirrored state as this service's authoritative state.
+
+        Called exactly once, on an *empty* service, when a replica
+        promotes itself to primary: the mirrored view becomes the member
+        set, the mirrored log seeds delta chaining, and ``epoch`` (the
+        promoted epoch, strictly above the mirrored one) fences every
+        stale publication. All adopted members count as freshly
+        refreshed, and the post-promotion expiry grace window opens —
+        members were heartbeating the dead primary and need time to fail
+        over to us.
+        """
+        if self._last_refresh:
+            raise MembershipError("adopt on a non-empty membership service")
+        if epoch <= self._epoch:
+            raise MembershipError("adopted epoch must move forward")
+        now = self._sim.now
+        for member in view.members:
+            self._last_refresh[member] = now
+            self._subscribers[member] = _noop_view
+            self._delivered[member] = view.version
+        self._version = view.version
+        self._view = view
+        self._epoch = epoch
+        for step in log:
+            self._log.append(step)
+        self._grace_until = now + self._timeout_s
+
+    def republish(self) -> None:
+        """Push the current full view to every member.
+
+        A freshly promoted primary announces its epoch this way: the full
+        view at the new epoch supersedes anything a deposed primary
+        published, regardless of version numbers.
+        """
+        now = self._sim.now
+        for member in sorted(self._subscribers):
+            self._delivered[member] = self._version
+            self._account(member, self._view, now)
+            self._push(member, self._view)
+
+    def deactivate(self) -> None:
+        """Stop all timers and drop buffered (unpublished) changes.
+
+        Used when a coordinator crashes (a crash mid-batch-window loses
+        the window — the fault the scenario suite injects) and when a
+        deposed primary fences itself after hearing a higher epoch.
+        """
+        self._expiry_timer.stop()
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+            self._flush_event = None
+        self._pending_joined.clear()
+        self._pending_left.clear()
+
+    # ------------------------------------------------------------------
     # Publication: batching, delta log, notification
     # ------------------------------------------------------------------
     def _record_change(
@@ -481,15 +616,16 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
             self._view = MembershipView(
                 version=self._version, members=tuple(sorted(self._last_refresh))
             )
-            self._log.append(
-                ViewDelta(
-                    from_version=self._version - 1,
-                    to_version=self._version,
-                    joined=joined,
-                    left=left,
-                )
+            delta = ViewDelta(
+                from_version=self._version - 1,
+                to_version=self._version,
+                joined=joined,
+                left=left,
             )
+            self._log.append(delta)
             self.stats.incr("views_published")
+            if self.on_publish is not None:
+                self.on_publish(delta)
         self._notify_all()
 
     def _coalesce_since(self, from_version: int) -> Optional[ViewDelta]:
@@ -549,9 +685,13 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
                 to_version=update.to_version,
                 joined=update.joined,
                 left=update.left,
+                epoch=self._epoch,
             )
         return MembershipUpdate(
-            origin=self.address, version=update.version, members=update.members
+            origin=self.address,
+            version=update.version,
+            members=update.members,
+            epoch=self._epoch,
         )
 
     def _push(
@@ -617,10 +757,21 @@ class MembershipService:  # reprolint: disable=RL002(one membership authority pe
 
     def _expire_stale(self) -> None:
         now = self._sim.now
+        timeout = self._timeout_s
+        if self._transport is not None and self._expiry_grace > 1.0:
+            # Graceful degradation: if *no* member heartbeat has reached
+            # us for over a third of the timeout (we — not they — look
+            # partitioned or freshly crashed-and-restored), or we are
+            # inside the post-promotion grace window (members are still
+            # failing over from the dead primary), stretch the timeout
+            # instead of mass-expiring healthy members.
+            silent = now - self._last_heard > self._timeout_s / 3.0
+            if silent or now < self._grace_until:
+                timeout *= self._expiry_grace
         stale = [
             m
             for m, last in self._last_refresh.items()
-            if now - last > self._timeout_s
+            if now - last > timeout
         ]
         if not stale:
             return

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError, RoutingError
 from repro.net.packet import (
     LinkStateMessage,
+    MembershipAck,
     MembershipDelta,
     MembershipRefresh,
     MembershipUpdate,
@@ -57,6 +58,19 @@ class OverlayNode:
         "_repair_requested_from",
         "dropped_unappliable_deltas",
         "dropped_stale_full_views",
+        "held_epoch",
+        "membership_ring",
+        "_ring_idx",
+        "_coord_heard_at",
+        "_failover_timer",
+        "_retry_event",
+        "_retry_attempt",
+        "_retry_sent_to",
+        "_refresh_sent_at",
+        "_failover_rng",
+        "_ring_phases",
+        "membership_failovers",
+        "membership_retries",
     )
 
     def __init__(
@@ -125,6 +139,34 @@ class OverlayNode:
         #: Full views at or below the already-held version (repair
         #: resends racing regular publication); ignored, not re-installed.
         self.dropped_stale_full_views = 0
+        #: Coordinator epoch of the held view (0 = legacy unreplicated
+        #: coordinator). Views order by (epoch, version): a full view at
+        #: a higher epoch supersedes the held one even if its version
+        #: number is lower, and deltas only chain within one epoch.
+        self.held_epoch = 0
+        #: Replicated membership: the ring of coordinator addresses to
+        #: fail over across (None = single coordinator, no failover).
+        self.membership_ring: Optional[Tuple[int, ...]] = None
+        self._ring_idx = 0
+        #: Last proof of life from the current coordinator (refresh acks
+        #: and view pushes both count).
+        self._coord_heard_at = 0.0
+        self._failover_timer = None
+        self._retry_event = None
+        self._retry_attempt = 0
+        #: Address the last failover attempt was actually sent to; when
+        #: a redirect repoints the node mid-backoff, the next retry
+        #: contacts the new target instead of walking past it.
+        self._retry_sent_to: Optional[int] = None
+        #: When the last refresh went out. Coordinator silence only
+        #: proves death if a heartbeat was actually sent since we last
+        #: heard — the failover timeout may well be shorter than the
+        #: heartbeat interval.
+        self._refresh_sent_at = 0.0
+        self._failover_rng: Optional[np.random.Generator] = None
+        self._ring_phases: Optional[Tuple[float, float]] = None
+        self.membership_failovers = 0
+        self.membership_retries = 0
         self.router.on_version_gap = self._on_router_version_gap
         transport.register(node_id, self.on_message)
 
@@ -165,6 +207,10 @@ class OverlayNode:
             self._refresh_timer = self.sim.periodic(
                 interval, refresh, phase=interval
             )
+        if self.membership_ring is not None:
+            self._ring_phases = (monitor_phase, router_phase)
+            self._coord_heard_at = self.sim.now
+            self._start_failover_watch()
 
     def schedule_start(
         self, delay: float, monitor_phase: float, router_phase: float
@@ -201,6 +247,13 @@ class OverlayNode:
         self._acquire_timer = self.sim.periodic(
             acquire_interval_s, self.send_membership_refresh, phase=acquire_interval_s
         )
+        if self.membership_ring is not None:
+            # The coordinator this joiner is pointed at may be dead (its
+            # join could even be the one lost in the coordinator's
+            # crash); run the failover watch while armed so the acquire
+            # refreshes walk the ring instead of nagging a corpse.
+            self._coord_heard_at = self.sim.now
+            self._start_failover_watch()
 
     def _maybe_start_on_view(self) -> None:
         if self._start_on_view is None or self._started:
@@ -223,6 +276,7 @@ class OverlayNode:
 
     def stop(self) -> None:
         self._cancel_pending_start()
+        self._stop_failover_watch()
         if self._started:
             self.monitor.stop()
             self.router.stop()
@@ -256,6 +310,9 @@ class OverlayNode:
             self.transport.register(self.id, self.on_message)
             self._registered = True
         self._repair_requested_from = None
+        self.held_epoch = 0
+        self.router.view_epoch = 0
+        self._retry_attempt = 0
         self.router.forget_view()
         self.monitor.reset()
 
@@ -285,19 +342,27 @@ class OverlayNode:
             else:
                 self.router.on_recommendation(msg, msg.origin)
         elif isinstance(msg, MembershipUpdate):
-            self.on_view(MembershipView(version=msg.version, members=msg.members))
+            self._note_coordinator(src, msg.epoch)
+            self.on_view(
+                MembershipView(version=msg.version, members=msg.members),
+                epoch=msg.epoch,
+            )
         elif isinstance(msg, MembershipDelta):
+            self._note_coordinator(src, msg.epoch)
             self.on_view(
                 ViewDelta(
                     from_version=msg.from_version,
                     to_version=msg.to_version,
                     joined=msg.joined,
                     left=msg.left,
-                )
+                ),
+                epoch=msg.epoch,
             )
+        elif isinstance(msg, MembershipAck):
+            self._on_membership_ack(msg, src)
         # Probes are handled by the vectorized monitor fast path.
 
-    def on_view(self, update: ViewUpdate) -> None:
+    def on_view(self, update: ViewUpdate, epoch: int = 0) -> None:
         """Membership delivery: install a full view or apply a delta.
 
         A view that no longer contains this node means it was removed
@@ -309,24 +374,47 @@ class OverlayNode:
         earlier update was lost on the wire: the node immediately sends
         a refresh whose version piggyback makes the coordinator re-send
         the bridging update.
+
+        With replicated coordinators, views order by ``(epoch,
+        version)``: a full view at a higher epoch installs even when its
+        version number is lower (the promoted primary's numbering
+        continues the mirrored log, which may trail what a deposed
+        primary published), a lower epoch is always stale, and deltas
+        only apply within the held epoch. A view excluding this node is
+        not necessarily final either — expulsion may be the mistake of
+        an expired-during-outage removal, so a ring-configured node
+        keeps heartbeating and rejoins when the coordinator readmits it.
         """
         if not self._registered:
             return
         current = self.router.view
         if isinstance(update, ViewDelta):
-            if current is None or current.version != update.from_version:
+            if (
+                current is None
+                or epoch != self.held_epoch
+                or current.version != update.from_version
+            ):
                 self.dropped_unappliable_deltas += 1
                 self._request_view_repair()
                 return
             view = update.apply(current)
             if self.id not in view:
-                self.stop()
+                self._on_expelled()
                 return
             self.router.on_view_delta(view, update)
             self._repair_requested_from = None
             self._maybe_start_on_view()
             return
-        if current is not None and update.version <= current.version:
+        if epoch < self.held_epoch:
+            # A deposed primary's stale publication; the fencing rule
+            # guarantees the higher epoch is the surviving authority.
+            self.dropped_stale_full_views += 1
+            return
+        if (
+            current is not None
+            and epoch == self.held_epoch
+            and update.version <= current.version
+        ):
             # A repair resend that raced regular publication; the held
             # view is already at least this fresh — do not rebuild.
             self.dropped_stale_full_views += 1
@@ -339,25 +427,72 @@ class OverlayNode:
                 # would cancel the armed start and strand the node.
                 self.dropped_stale_full_views += 1
                 return
-            self.stop()
+            self._on_expelled()
             return
+        self.held_epoch = epoch
+        self.router.view_epoch = epoch
         self.router.on_view_change(update)
         self._repair_requested_from = None
         self._maybe_start_on_view()
 
+    def _on_expelled(self) -> None:
+        """Handle a view that no longer contains this node.
+
+        Single-coordinator overlays keep the legacy semantic: the
+        authority said we are out, stop for good. With a coordinator
+        ring, a live node can be expelled *wrongly* (expiry while the
+        membership plane was down or partitioned), so it stops routing
+        but re-arms the view-triggered start and keeps heartbeating —
+        the acting primary readmits any live non-member that reaches
+        it, and the readmission view restarts the node.
+        """
+        self.stop()
+        if self.membership_ring is None or self._ring_phases is None:
+            return
+        monitor_phase, router_phase = self._ring_phases
+        self.membership_failovers += 1
+        self.arm_start_on_view(
+            monitor_phase,
+            router_phase,
+            acquire_interval_s=self.config.membership_failover_timeout_s / 2.0,
+        )
+
     # ------------------------------------------------------------------
     # In-band membership client
     # ------------------------------------------------------------------
+    def configure_ring(
+        self, addresses: Tuple[int, ...], rng: np.random.Generator
+    ) -> None:
+        """Enable coordinator failover across ``addresses``.
+
+        The node heartbeats ``addresses[0]`` (the initial primary) and,
+        when the current coordinator goes silent past the failover
+        timeout, walks the ring with exponential backoff + jitter
+        (``rng`` supplies the jitter) until an acknowledgement or view
+        push proves a coordinator live again.
+        """
+        if not addresses:
+            raise ConfigError("coordinator ring must not be empty")
+        self.membership_ring = addresses
+        self.membership_addr = addresses[0]
+        self._ring_idx = 0
+        self._failover_rng = rng
+
     def send_membership_refresh(self) -> None:
         """Heartbeat the in-band coordinator, piggybacking the held view
         version (0 = no view yet) so it can detect and repair gaps."""
         if self.membership_addr is None:
             return
-        version = self.router.view.version if self.router.view is not None else 0
+        self._refresh_sent_at = self.sim.now
+        held = self.router.view
         self.transport.send(
             self.id,
             self.membership_addr,
-            MembershipRefresh(origin=self.id, view_version=version),
+            MembershipRefresh(
+                origin=self.id,
+                view_version=held.version if held is not None else 0,
+                epoch=self.held_epoch if held is not None else 0,
+            ),
         )
 
     def _request_view_repair(self) -> None:
@@ -375,6 +510,128 @@ class OverlayNode:
         the next heartbeat."""
         if self._started:
             self._request_view_repair()
+
+    # ------------------------------------------------------------------
+    # Coordinator failover client
+    # ------------------------------------------------------------------
+    def _note_coordinator(self, src: int, epoch: int) -> None:
+        """A view push arrived from a coordinator: proof of life.
+
+        A push at the held epoch or newer also identifies the acting
+        primary, so the node repoints its heartbeats there without
+        waiting for a redirect.
+        """
+        if self.membership_ring is None or src not in self.membership_ring:
+            return
+        if epoch < self.held_epoch:
+            return  # a deposed primary is not proof the plane is live
+        self._coord_heard_at = self.sim.now
+        self._repoint(src)
+        self._settle_retries()
+
+    def _on_membership_ack(self, msg: MembershipAck, src: int) -> None:
+        if self.membership_ring is None or src not in self.membership_ring:
+            return
+        if msg.leader == src:
+            # The acting primary acknowledged our refresh.
+            self._coord_heard_at = self.sim.now
+            self._repoint(src)
+            self._settle_retries()
+            return
+        # A backup's redirect: repoint to its believed leader but do not
+        # count it as proof of life and do not re-send immediately —
+        # the heartbeat/retry cadence drives the next contact, which
+        # keeps two disagreeing backups from bouncing a message storm.
+        if msg.leader in self.membership_ring:
+            self._repoint(msg.leader)
+
+    def _repoint(self, address: int) -> None:
+        if address != self.membership_addr:
+            assert self.membership_ring is not None
+            self.membership_addr = address
+            self._ring_idx = self.membership_ring.index(address)
+
+    def _settle_retries(self) -> None:
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
+        self._retry_attempt = 0
+        self._retry_sent_to = None
+
+    def _start_failover_watch(self) -> None:
+        if self.membership_ring is None or self._failover_timer is not None:
+            return
+        interval = self.config.membership_failover_timeout_s / 2.0
+        rng = self._failover_rng
+        phase = interval * (1.0 + float(rng.random())) if rng is not None else interval
+        self._failover_timer = self.sim.periodic(
+            interval, self._failover_tick, phase=phase
+        )
+
+    def _stop_failover_watch(self) -> None:
+        if self._failover_timer is not None:
+            self._failover_timer.stop()
+            self._failover_timer = None
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
+
+    def _failover_tick(self) -> None:
+        if self.membership_ring is None or not self._registered:
+            return
+        if self._retry_event is not None:
+            return  # a failover is already in progress
+        silence = self.sim.now - self._coord_heard_at
+        if silence <= self.config.membership_failover_timeout_s:
+            return
+        if self._refresh_sent_at <= self._coord_heard_at:
+            # Nothing has been sent since we last heard, so the silence
+            # proves nothing (the heartbeat cadence may be slower than
+            # the failover timeout). Probe now; the ack — or its
+            # continued absence — decides at the next tick.
+            self.send_membership_refresh()
+            return
+        self.membership_failovers += 1
+        self._retry_attempt = 0
+        # First attempt re-targets the *current* address — it may be a
+        # redirect target we have not actually contacted yet; only
+        # subsequent retries advance around the ring.
+        self._retry_sent_to = self.membership_addr
+        self.send_membership_refresh()
+        self._schedule_retry()
+
+    def _schedule_retry(self) -> None:
+        cfg = self.config
+        delay = min(
+            cfg.membership_retry_base_s * (2.0 ** self._retry_attempt),
+            cfg.membership_retry_max_s,
+        )
+        rng = self._failover_rng
+        if rng is not None and cfg.membership_retry_jitter > 0:
+            delay *= 1.0 + cfg.membership_retry_jitter * float(rng.random())
+        self._retry_event = self.sim.schedule(delay, self._retry_tick)
+
+    def _retry_tick(self) -> None:
+        self._retry_event = None
+        if (
+            self.sim.now - self._coord_heard_at
+            <= self.config.membership_failover_timeout_s
+        ):
+            self._retry_attempt = 0
+            return  # the coordinator answered while we were waiting
+        assert self.membership_ring is not None
+        if self._retry_sent_to == self.membership_addr:
+            # Nothing repointed us since the last attempt: walk the ring.
+            # (After a redirect the current address has not been tried
+            # yet — advancing would skip the believed leader, and with
+            # an unlucky ring layout could orbit it forever.)
+            self._ring_idx = (self._ring_idx + 1) % len(self.membership_ring)
+            self.membership_addr = self.membership_ring[self._ring_idx]
+        self.membership_retries += 1
+        self._retry_attempt += 1
+        self._retry_sent_to = self.membership_addr
+        self.send_membership_refresh()
+        self._schedule_retry()
 
     def _link_down(self, j: int) -> None:
         self.router.on_link_down(j)

@@ -79,6 +79,7 @@ class RouterBase(abc.ABC):
         "dropped_stale_view",
         "_own_row_seen_version",
         "on_version_gap",
+        "view_epoch",
         "_member_ids",
     )
 
@@ -107,13 +108,28 @@ class RouterBase(abc.ABC):
         #: update. With in-band (lossy) membership the node uses it to
         #: request repair without waiting for the next heartbeat.
         self.on_version_gap: Optional[Callable[[], None]] = None
+        #: Coordinator epoch of the held view; 0 outside replicated
+        #: deployments, where :meth:`wire_view_version` degenerates to
+        #: the plain view version (identical wire values and tables).
+        self.view_epoch: int = 0
+
+    def wire_view_version(self) -> int:
+        """The version tag routing messages carry and compare.
+
+        Replicated membership orders views by ``(epoch, version)``;
+        packing the epoch into the high bits preserves that order in a
+        single integer comparison, and epoch 0 leaves every legacy
+        value untouched.
+        """
+        assert self.view is not None
+        return (self.view_epoch << 32) | self.view.version
 
     def _note_dropped_message(self, msg_version: int) -> None:
         """Account a routing message dropped for view reasons."""
         self.dropped_stale_view += 1
         if (
             self.view is not None
-            and msg_version > self.view.version
+            and msg_version > self.wire_view_version()
             and self.on_version_gap is not None
         ):
             self.on_version_gap()

@@ -52,7 +52,7 @@ class FullMeshRouter(RouterBase):
             latency_ms=latency,
             alive=alive,
             loss=loss,
-            view_version=view.version,
+            view_version=self.wire_view_version(),
             sent_at=self.sim.now,
         )
         for member in view.members:
@@ -61,7 +61,7 @@ class FullMeshRouter(RouterBase):
 
     def on_linkstate(self, msg: LinkStateMessage, src: int) -> None:
         view = self._require_view()
-        if msg.view_version != view.version or src not in view:
+        if msg.view_version != self.wire_view_version() or src not in view:
             self._note_dropped_message(msg.view_version)
             return
         self.table.update_row(

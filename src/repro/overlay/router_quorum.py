@@ -239,7 +239,7 @@ class QuorumRouter(RouterBase):
             latency_ms=latency,
             alive=alive,
             loss=loss,
-            view_version=view.version,
+            view_version=self.wire_view_version(),
             sent_at=self.sim.now,
         )
         for idx in server_indices:
@@ -386,7 +386,7 @@ class QuorumRouter(RouterBase):
         msg = RecommendationMessage(
             origin=self.me,
             entries=entries,
-            view_version=view.version,
+            view_version=self.wire_view_version(),
             sent_at=now,
             timestamped=self.config.timestamped_recommendations,
         )
@@ -406,7 +406,7 @@ class QuorumRouter(RouterBase):
     # ------------------------------------------------------------------
     def on_linkstate(self, msg: LinkStateMessage, src: int) -> None:
         view = self._require_view()
-        if msg.view_version != view.version or src not in view:
+        if msg.view_version != self.wire_view_version() or src not in view:
             self._note_dropped_message(msg.view_version)
             return
         src_idx = view.index_of(src)
@@ -420,7 +420,7 @@ class QuorumRouter(RouterBase):
 
     def on_recommendation(self, msg: RecommendationMessage, src: int) -> None:
         view = self._require_view()
-        if msg.view_version != view.version or src not in view:
+        if msg.view_version != self.wire_view_version() or src not in view:
             self._note_dropped_message(msg.view_version)
             return
         src_idx = view.index_of(src)

@@ -344,6 +344,13 @@ class DisruptionRecorder:  # reprolint: disable=RL002(one recorder per experimen
         self._view_samples = 0
         self._div_pair_measured = 0
         self._div_pair_broken = 0
+        # Per-member divergence: for each node, time windows during
+        # which it (while live) held something other than the reference
+        # version — the version most live nodes held, ties to the
+        # newest. Bounded per-member windows are the coordinator-failover
+        # acceptance metric: every member individually reconverges.
+        self._member_div_since = np.full(n, np.nan)
+        self._member_div_windows: List[Tuple[int, float, float]] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -438,6 +445,27 @@ class DisruptionRecorder:  # reprolint: disable=RL002(one recorder per experimen
         elif self._div_open_since is not None:
             self._div_windows.append((self._div_open_since, float(now)))
             self._div_open_since = None
+        # Per-member windows against the sample's reference version:
+        # the modal version among live nodes, ties to the newest (during
+        # a failover the new primary's higher tag wins the tie, so nodes
+        # already converged on it are not the ones marked divergent).
+        if held.size:
+            vals, counts = np.unique(held, return_counts=True)
+            ref = vals[counts == counts.max()].max()
+        else:
+            ref = -1
+        diverged = live & (versions != ref)
+        tracking = ~np.isnan(self._member_div_since)
+        closed = tracking & live & ~diverged
+        for m in np.nonzero(closed)[0]:
+            self._member_div_windows.append(
+                (int(m), float(self._member_div_since[m]), float(now))
+            )
+        # A member that stopped being live mid-window is censored, not
+        # recorded — mirroring the pair-disruption convention.
+        self._member_div_since[closed | (tracking & ~live)] = np.nan
+        newly = diverged & np.isnan(self._member_div_since)
+        self._member_div_since[newly] = now
 
     def mark(self, label: str, now: float) -> None:
         """Tag an instant (e.g. the mass-failure time) for later queries."""
@@ -514,6 +542,36 @@ class DisruptionRecorder:  # reprolint: disable=RL002(one recorder per experimen
                 self._div_pair_broken / self._div_pair_measured
                 if self._div_pair_measured
                 else math.nan
+            ),
+        }
+
+    def member_divergence_windows(self) -> List[Tuple[int, float, float]]:
+        """Closed per-member divergence windows ``(member, start, end)``.
+
+        A window opens when a live member's held version first differs
+        from the sample's reference version and closes at the first
+        sample where it matches again (members that stop being live
+        mid-window are censored).
+        """
+        return list(self._member_div_windows)
+
+    def member_divergence_summary(self) -> Dict[str, float]:
+        """Aggregates of the per-member divergence windows.
+
+        ``open_members`` counts members still divergent at the last
+        sample — a converged run must report 0; ``member_max_s`` bounds
+        the longest any single member spent off the reference version.
+        """
+        durations = [e - s for _, s, e in self._member_div_windows]
+        return {
+            "windows": float(len(self._member_div_windows)),
+            "members_affected": float(
+                len({m for m, _, _ in self._member_div_windows})
+            ),
+            "member_total_s": float(sum(durations)),
+            "member_max_s": float(max(durations)) if durations else 0.0,
+            "open_members": float(
+                (~np.isnan(self._member_div_since)).sum()
             ),
         }
 

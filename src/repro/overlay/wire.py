@@ -44,8 +44,11 @@ __all__ = [
     "PROBE_BYTES",
     "NODE_ID_BYTES",
     "VIEW_VERSION_BYTES",
+    "EPOCH_BYTES",
     "DELTA_COUNT_BYTES",
     "MEMBERSHIP_REFRESH_BYTES",
+    "MEMBERSHIP_ACK_BYTES",
+    "COORDINATOR_SYNC_BYTES",
     "LATENCY_DEAD",
     "MAX_ENCODABLE_LATENCY_MS",
     "linkstate_message_bytes",
@@ -53,6 +56,9 @@ __all__ = [
     "membership_message_bytes",
     "membership_delta_message_bytes",
     "membership_refresh_message_bytes",
+    "membership_ack_message_bytes",
+    "coordinator_sync_message_bytes",
+    "coordinator_replicate_message_bytes",
     "encode_linkstate",
     "decode_linkstate",
     "encode_recommendations",
@@ -97,10 +103,26 @@ VIEW_VERSION_BYTES = 4
 #: A membership delta carries 2-byte joined/left counts.
 DELTA_COUNT_BYTES = 2
 
+#: Coordinator epochs (replicated membership) are 4-byte integers, like
+#: view versions. Epoch 0 is the unreplicated deployment, which omits
+#: the field entirely (a header flag bit), so single-coordinator runs
+#: cost exactly what they did before replication existed.
+EPOCH_BYTES = VIEW_VERSION_BYTES
+
 #: An in-band membership refresh is a bare header plus the sender's held
 #: view version — the piggyback the coordinator uses to detect version
 #: gaps left by lost view updates.
 MEMBERSHIP_REFRESH_BYTES = HEADER_BYTES + VIEW_VERSION_BYTES
+
+#: A refresh acknowledgement (replicated membership only): header plus
+#: the coordinator's epoch and published version plus the 2-byte address
+#: of the coordinator it believes is primary (the leader hint members
+#: use to repoint after a failover).
+MEMBERSHIP_ACK_BYTES = HEADER_BYTES + EPOCH_BYTES + VIEW_VERSION_BYTES + NODE_ID_BYTES
+
+#: Coordinator-to-coordinator control (heartbeat / pull): header plus
+#: the sender's epoch and view version.
+COORDINATOR_SYNC_BYTES = HEADER_BYTES + EPOCH_BYTES + VIEW_VERSION_BYTES
 
 #: Wire sentinel for a dead/unreachable destination.
 LATENCY_DEAD = 0xFFFF
@@ -144,6 +166,29 @@ def membership_delta_message_bytes(joined: int, left: int) -> int:
 def membership_refresh_message_bytes() -> int:
     """Wire size of a membership refresh (heartbeat + version piggyback)."""
     return MEMBERSHIP_REFRESH_BYTES
+
+def membership_ack_message_bytes() -> int:
+    """Wire size of a refresh acknowledgement (replicated membership)."""
+    return MEMBERSHIP_ACK_BYTES
+
+def coordinator_sync_message_bytes() -> int:
+    """Wire size of a coordinator heartbeat or log-pull request."""
+    return COORDINATOR_SYNC_BYTES
+
+def coordinator_replicate_message_bytes(
+    members: int, joined: int, left: int, delta: bool
+) -> int:
+    """Wire size of a primary-to-replica log replication message.
+
+    A replicated transition is the corresponding member-facing update
+    (delta or full view) plus the primary's 4-byte epoch.
+    """
+    inner = (
+        membership_delta_message_bytes(joined, left)
+        if delta
+        else membership_message_bytes(members)
+    )
+    return inner + EPOCH_BYTES
 
 
 # ----------------------------------------------------------------------

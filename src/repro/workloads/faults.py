@@ -1,0 +1,142 @@
+"""Membership-plane fault injection (coordinator failover scenarios).
+
+A :class:`FaultPlan` layers coordinator-targeted faults on top of the
+existing failure machinery: coordinator crash/restore events are
+scheduled on the overlay's simulator (like
+:class:`~repro.workloads.engine.ChurnWorkload` events), while partitions
+compile down to an ordinary
+:class:`~repro.net.failures.FailureTable` of cross-side
+:class:`~repro.net.failures.OutageSchedule` windows — built *before* the
+overlay, because outage schedules are immutable topology inputs.
+
+The three fault shapes the coordinator-failover suite needs:
+
+* :func:`crash_coordinator` / :func:`restore_coordinator` — crash-stop a
+  coordinator endpoint (timed to land inside an open ``notify_batch_s``
+  window when the scenario wants that fault) and optionally bring it
+  back later as a resyncing backup.
+* :func:`partition` — sever two node sets for a window. Partitioning the
+  primary's host from everyone tests graceful degradation (no
+  mass-expiry, bounded staleness); partitioning the coordinators from
+  *each other* while each side keeps some members forces conflicting
+  concurrent views, which the epoch rule must converge after healing.
+
+Coordinator endpoints share their host node's links, so "partition
+coordinator i from members S" is expressed by cutting ``host(i)`` from
+``S`` — exactly how the real system would experience it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.net.failures import FailureTable, build_partition_table
+from repro.overlay.coordination import CoordinatorGroup
+from repro.overlay.harness import Overlay
+
+__all__ = ["FaultEvent", "FaultPlan"]
+
+ACTION_CRASH_COORD = "crash-coordinator"
+ACTION_RESTORE_COORD = "restore-coordinator"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled coordinator fault."""
+
+    time: float
+    action: str
+    coordinator: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise WorkloadError("fault event time must be non-negative")
+        if self.action not in (ACTION_CRASH_COORD, ACTION_RESTORE_COORD):
+            raise WorkloadError(f"unknown fault action {self.action!r}")
+        if self.coordinator < 0:
+            raise WorkloadError("coordinator index must be non-negative")
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """A deterministic schedule of membership-plane faults.
+
+    Build the plan first, derive its :meth:`failure_table` to construct
+    the overlay's topology, then :meth:`install` it on the built overlay
+    to schedule the crash/restore events.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    #: Partition cuts as ``(start, end, side_a, side_b)`` node-id sets.
+    cuts: List[Tuple[float, float, Tuple[int, ...], Tuple[int, ...]]] = field(
+        default_factory=list
+    )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def crash_coordinator(self, time: float, index: int) -> "FaultPlan":
+        """Crash-stop coordinator ``index`` at ``time``."""
+        self.events.append(FaultEvent(time, ACTION_CRASH_COORD, index))
+        return self
+
+    def restore_coordinator(self, time: float, index: int) -> "FaultPlan":
+        """Restart coordinator ``index`` (as a backup) at ``time``."""
+        self.events.append(FaultEvent(time, ACTION_RESTORE_COORD, index))
+        return self
+
+    def partition(
+        self,
+        start: float,
+        end: float,
+        side_a: Sequence[int],
+        side_b: Sequence[int],
+    ) -> "FaultPlan":
+        """Cut every ``side_a`` <-> ``side_b`` link during ``[start, end)``."""
+        if end <= start:
+            raise WorkloadError(f"bad partition window [{start}, {end})")
+        self.cuts.append(
+            (float(start), float(end), tuple(side_a), tuple(side_b))
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def failure_table(self, n: int) -> FailureTable:
+        """The partition cuts compiled to link outage schedules.
+
+        Pass the result to ``build_overlay(..., failures=...)`` (the
+        crash/restore events are not part of it — they are simulator
+        events installed later).
+        """
+        return build_partition_table(n, self.cuts)
+
+    def install(self, overlay: Overlay) -> None:
+        """Schedule every crash/restore event on the overlay's simulator."""
+        group = overlay.membership
+        if not isinstance(group, CoordinatorGroup):
+            raise WorkloadError(
+                "coordinator faults need num_coordinators > 1 "
+                "(overlay.membership must be a CoordinatorGroup)"
+            )
+        for ev in sorted(self.events, key=lambda e: (e.time, e.coordinator)):
+            if ev.coordinator >= len(group.coordinators):
+                raise WorkloadError(
+                    f"coordinator {ev.coordinator} does not exist "
+                    f"(k={len(group.coordinators)})"
+                )
+            if ev.time < overlay.sim.now:
+                raise WorkloadError(
+                    f"fault event at t={ev.time} is in the past"
+                )
+            if ev.action == ACTION_CRASH_COORD:
+                overlay.sim.schedule_at(
+                    ev.time, group.crash_coordinator, ev.coordinator
+                )
+            else:
+                overlay.sim.schedule_at(
+                    ev.time, group.restore_coordinator, ev.coordinator
+                )
