@@ -18,6 +18,8 @@ Usage (also via ``python -m repro``)::
     repro-experiments membership --in-band     # updates on the lossy wire
     repro-experiments failover                 # replicated-coordinator faults
     repro-experiments failover --smoke         # crash+partition CI subset
+    repro-experiments gossip                   # coordinator-free membership
+    repro-experiments gossip --smoke           # n=24 CI variant
     repro-experiments perf                     # scale runs + BENCH_PR4.json
     repro-experiments perf --smoke             # fast n=256 CI variant
     repro-experiments all                      # everything above
@@ -275,6 +277,31 @@ def _cmd_failover(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_gossip(args: argparse.Namespace) -> None:
+    from repro.experiments.gossip_membership import (
+        format_gossip_scenarios,
+        run_gossip_scenarios,
+    )
+
+    # Like failover, the scenario table is the deliverable; write it
+    # under results/ unless redirected (CI's smoke run passes --out).
+    out = args.out if args.out is not None else pathlib.Path("results")
+    results = run_gossip_scenarios(
+        n=args.n or 64, seed=args.seed, smoke=args.smoke
+    )
+    name = (
+        "table_gossip_membership_smoke"
+        if args.smoke
+        else "table_gossip_membership"
+    )
+    _write(out, name, format_gossip_scenarios(results))
+    failed = [f"{r.name}/{r.plane}" for r in results if not r.passed]
+    if failed:
+        raise SystemExit(
+            "gossip membership scenario(s) failed: " + ", ".join(failed)
+        )
+
+
 def _cmd_perf(args: argparse.Namespace) -> None:
     from repro.experiments.perf_scaling import run_perf_suite
 
@@ -325,6 +352,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": _cmd_fig1,
     "failover": _cmd_failover,
     "fig9": _cmd_fig9,
+    "gossip": _cmd_gossip,
     "deployment": _cmd_deployment,
     "membership": _cmd_membership,
     "perf": _cmd_perf,
@@ -368,7 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="membership/perf/failover: fast CI path (smaller runs)",
+        help="membership/perf/failover/gossip: fast CI path (smaller runs)",
     )
     parser.add_argument(
         "--in-band",

@@ -30,11 +30,16 @@ __all__ = [
     "CoordinatorHeartbeat",
     "CoordinatorPull",
     "CoordinatorReplicate",
+    "GossipDigest",
+    "GossipPull",
+    "GossipOps",
+    "GossipSnapshot",
     "KIND_PROBE",
     "KIND_LINKSTATE",
     "KIND_RECOMMENDATION",
     "KIND_MEMBERSHIP",
     "KIND_MEMBERSHIP_CTRL",
+    "KIND_GOSSIP",
 ]
 
 KIND_PROBE = "probe"
@@ -46,6 +51,11 @@ KIND_MEMBERSHIP = "member"
 #: accounting is not skewed by the coordinator host receiving every
 #: overlay member's heartbeats.
 KIND_MEMBERSHIP_CTRL = "member-ctl"
+#: Coordinator-free membership traffic (digest pushes, anti-entropy
+#: pulls, op replays, and snapshots of the gossip plane). One kind for
+#: the whole plane so its byte cost is directly comparable against the
+#: coordinator plane's ``member`` + ``member-ctl`` total.
+KIND_GOSSIP = "gossip"
 
 
 @dataclass(slots=True)
@@ -344,4 +354,92 @@ class CoordinatorReplicate(Message):
     def wire_size(self) -> int:
         return wire.coordinator_replicate_message_bytes(
             len(self.members), len(self.joined), len(self.left), self.is_delta
+        )
+
+
+@dataclass(slots=True)
+class GossipDigest(Message):
+    """A gossip push round's digest of the sender's membership knowledge.
+
+    ``vv`` is the sender's version vector — per op-origin, the highest
+    contiguously-applied membership-op sequence — and ``heartbeats`` its
+    heartbeat vector (per live member, the highest heartbeat counter
+    seen). Receivers compare ``vv`` against their own to decide whether
+    to pull missing ops from the sender or push their surplus back.
+    """
+
+    vv: Tuple[Tuple[int, int], ...] = ()
+    heartbeats: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return KIND_GOSSIP
+
+    def wire_size(self) -> int:
+        return wire.gossip_digest_message_bytes(
+            len(self.vv), len(self.heartbeats)
+        )
+
+
+@dataclass(slots=True)
+class GossipPull(Message):
+    """An anti-entropy pull for membership ops the sender is missing.
+
+    ``ranges`` lists ``(op_origin, have_seq)`` pairs: "send me every op
+    you hold from ``op_origin`` after ``have_seq``". An *empty* ranges
+    tuple is the bootstrap form — "send me your full resolved state" —
+    used by joiners with no membership knowledge at all.
+    """
+
+    ranges: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return KIND_GOSSIP
+
+    def wire_size(self) -> int:
+        return wire.gossip_pull_message_bytes(len(self.ranges))
+
+
+@dataclass(slots=True)
+class GossipOps(Message):
+    """A replay of membership ops, answering a pull or pushing surplus.
+
+    Each op is ``(origin, seq, action, target, stamp)`` — the
+    :func:`repro.overlay.wire.encode_gossip_ops` layout.
+    """
+
+    ops: Tuple[Tuple[int, int, int, int, int], ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return KIND_GOSSIP
+
+    def wire_size(self) -> int:
+        return wire.gossip_ops_message_bytes(len(self.ops))
+
+
+@dataclass(slots=True)
+class GossipSnapshot(Message):
+    """Full resolved membership state: the gossip plane's gap fallback.
+
+    Sent instead of an op replay when the responder's op log no longer
+    retains the requested range (or the range is unreasonably large),
+    and to bootstrap joiners. ``records`` carries per-target resolved
+    state ``(target, stamp, action, op_origin)`` including tombstones;
+    ``vv`` is the responder's version vector, which the receiver adopts
+    pointwise-max, and ``heartbeats`` its heartbeat vector.
+    """
+
+    vv: Tuple[Tuple[int, int], ...] = ()
+    records: Tuple[Tuple[int, int, int, int], ...] = ()
+    heartbeats: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return KIND_GOSSIP
+
+    def wire_size(self) -> int:
+        return wire.gossip_snapshot_message_bytes(
+            len(self.vv), len(self.records), len(self.heartbeats)
         )

@@ -103,6 +103,22 @@ class OverlayConfig:
     #: coordinator outage cannot mass-expire healthy members. Only
     #: consulted on the in-band plane; 1.0 disables the grace.
     membership_expiry_grace: float = 4.0
+    #: Which membership plane the overlay runs. ``"coordinator"`` (the
+    #: default) keeps the §5 coordinator — single or replicated per
+    #: ``num_coordinators`` — so every published table stays
+    #: byte-identical. ``"gossip"`` drops the coordinator entirely:
+    #: membership ops (join/leave/crash-expiry) are locally originated,
+    #: version-vector-ordered, and spread epidemic-style by periodic
+    #: digest push plus anti-entropy pull over the overlay transport.
+    membership_mode: str = "coordinator"
+    #: Gossip plane: period of each node's digest push round.
+    gossip_interval_s: float = 10.0
+    #: Gossip plane: number of random live peers a digest push targets.
+    gossip_fanout: int = 3
+    #: Gossip plane: per-origin op-log retention (ops kept for range
+    #: replay); pulls reaching past the retained window fall back to a
+    #: full resolved-state snapshot.
+    gossip_log_ops: int = 128
     #: Replicated membership: primary-to-replica heartbeat period.
     coordinator_heartbeat_s: float = 10.0
     #: Replicated membership: a replica that heard nothing from the
@@ -149,6 +165,7 @@ class OverlayConfig:
             "membership_failover_timeout_s": self.membership_failover_timeout_s,
             "membership_retry_base_s": self.membership_retry_base_s,
             "membership_retry_max_s": self.membership_retry_max_s,
+            "gossip_interval_s": self.gossip_interval_s,
             "coordinator_heartbeat_s": self.coordinator_heartbeat_s,
             "coordinator_promote_timeout_s": self.coordinator_promote_timeout_s,
             "freshness_sample_s": self.freshness_sample_s,
@@ -166,6 +183,26 @@ class OverlayConfig:
                 "num_coordinators > 1 requires membership_in_band: "
                 "replica mirroring and failover are wire protocols"
             )
+        if self.membership_mode not in ("coordinator", "gossip"):
+            raise ConfigError(
+                "membership_mode must be 'coordinator' or 'gossip', "
+                f"got {self.membership_mode!r}"
+            )
+        if self.gossip_fanout < 1:
+            raise ConfigError("gossip_fanout must be >= 1")
+        if self.gossip_log_ops < 1:
+            raise ConfigError("gossip_log_ops must be >= 1")
+        if self.membership_mode == "gossip":
+            if self.membership_in_band:
+                raise ConfigError(
+                    "membership_mode='gossip' replaces the coordinator "
+                    "wire plane; membership_in_band must stay False"
+                )
+            if self.num_coordinators != 1:
+                raise ConfigError(
+                    "membership_mode='gossip' runs no coordinators; "
+                    "leave num_coordinators at 1"
+                )
         if self.membership_retry_jitter < 0:
             raise ConfigError("membership_retry_jitter must be non-negative")
         if self.membership_expiry_grace < 1.0:

@@ -21,6 +21,7 @@ from repro.net.trace import SyntheticTrace, planetlab_like
 from repro.net.transport import DatagramTransport
 from repro.overlay.config import OverlayConfig, RouterKind
 from repro.overlay.coordination import CoordinatorGroup
+from repro.overlay.gossip import GossipMembershipPlane
 from repro.overlay.membership import MembershipService
 from repro.overlay.node import OverlayNode
 from repro.overlay.router_quorum import QuorumRouter
@@ -52,7 +53,7 @@ class Overlay:  # reprolint: disable=RL002(one harness object per experiment; ne
         router_kind: RouterKind,
         bandwidth: BandwidthRecorder,
         freshness: Optional[FreshnessRecorder],
-        membership: Union[MembershipService, CoordinatorGroup],
+        membership: Union[MembershipService, CoordinatorGroup, GossipMembershipPlane],
         active: Optional[Iterable[int]] = None,
         lifecycle_rng: Optional[np.random.Generator] = None,
     ):
@@ -101,12 +102,17 @@ class Overlay:  # reprolint: disable=RL002(one harness object per experiment; ne
         if node_id in self.active:
             raise ConfigError(f"node {node_id} is already active")
         node.prepare_join()
-        if self.membership.is_member(node.id):
-            # A crashed incarnation whose refresh has not yet expired:
-            # model a reboot by evicting the stale entry so the node can
-            # cleanly re-join within the same run.
-            self.membership.evict(node.id)
-        self.membership.join(node.id, node.on_view)
+        if isinstance(self.membership, GossipMembershipPlane):
+            # Coordinator-free: nothing to evict — a rejoin asserts a
+            # fresh incarnation stamp that supersedes any stale record.
+            self.membership.begin_join(node_id)
+        else:
+            if self.membership.is_member(node.id):
+                # A crashed incarnation whose refresh has not yet expired:
+                # model a reboot by evicting the stale entry so the node
+                # can cleanly re-join within the same run.
+                self.membership.evict(node.id)
+            self.membership.join(node.id, node.on_view)
         self.active.add(node_id)
         rng = self._lifecycle_rng
         monitor_phase = float(
@@ -118,7 +124,12 @@ class Overlay:  # reprolint: disable=RL002(one harness object per experiment; ne
                 self.config.routing_interval_s(self.router_kind),
             )
         )
-        if self.config.membership_in_band:
+        if isinstance(self.membership, GossipMembershipPlane):
+            # Start when the bootstrap snapshot lands and the engine
+            # installs the first view; the engine's own backoff-retried
+            # pull plays the acquisition role, so no acquire timer.
+            node.arm_start_on_view(monitor_phase, router_phase, 1.0)
+        elif self.config.membership_in_band:
             # The join's full view travels the (lossy) wire: start when
             # it actually arrives, and periodically re-request it until
             # then. The acquisition interval sits just past the batching
@@ -144,8 +155,15 @@ class Overlay:  # reprolint: disable=RL002(one harness object per experiment; ne
         node = self.nodes[node_id]
         if node_id not in self.active:
             raise ConfigError(f"node {node_id} is not active")
-        node.teardown()
-        self.membership.leave(node.id)
+        if isinstance(self.membership, GossipMembershipPlane):
+            # Announce the leave op while the node can still push it —
+            # after teardown nobody could learn of the departure until
+            # crash expiry.
+            self.membership.leave(node.id)
+            node.teardown()
+        else:
+            node.teardown()
+            self.membership.leave(node.id)
         self.active.discard(node_id)
 
     def fail_node(self, node_id: int) -> None:
@@ -394,8 +412,13 @@ def build_overlay(
             expiry_grace=config.membership_expiry_grace,
         )
 
-    membership: Union[MembershipService, CoordinatorGroup]
-    if config.num_coordinators > 1:
+    membership: Union[MembershipService, CoordinatorGroup, GossipMembershipPlane]
+    if config.membership_mode == "gossip":
+        # Coordinator-free membership: no endpoint at all — every node
+        # runs a gossip engine (attached below) and membership ops
+        # converge by push-pull anti-entropy over the node addresses.
+        membership = GossipMembershipPlane(sim, transport, config)
+    elif config.num_coordinators > 1:
         # Replicated membership: k coordinator endpoints at addresses
         # n..n+k-1, hosted on a spread of underlay nodes so one host
         # outage cannot take the whole membership plane down. Index 0
@@ -451,7 +474,15 @@ def build_overlay(
         return _refresh
 
     for node in nodes:
-        if isinstance(membership, CoordinatorGroup):
+        if isinstance(membership, GossipMembershipPlane):
+            # Every node gets a gossip engine with its own seeded rng
+            # (push phases, peer selection, retry jitter). These draws
+            # exist only on the gossip path, so default-mode runs keep
+            # their exact RNG streams and byte-identical tables.
+            membership.attach_node(
+                node, np.random.default_rng(rng.integers(2**63))
+            )
+        elif isinstance(membership, CoordinatorGroup):
             # Replicated membership: each node heartbeats the primary
             # and walks the coordinator ring (with jittered backoff)
             # when it goes silent. The per-node jitter rng draws exist
@@ -468,9 +499,12 @@ def build_overlay(
         else:
             node.on_refresh = _make_refresh(node.id)
 
-    membership.bootstrap(
-        {node.id: node.on_view for node in nodes if node.id in active}
-    )
+    if isinstance(membership, GossipMembershipPlane):
+        membership.bootstrap(sorted(active))
+    else:
+        membership.bootstrap(
+            {node.id: node.on_view for node in nodes if node.id in active}
+        )
 
     routing_interval = config.routing_interval_s(router)
     for node in nodes:

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError, RoutingError
 from repro.net.packet import (
+    GossipDigest,
+    GossipOps,
+    GossipPull,
+    GossipSnapshot,
     LinkStateMessage,
     MembershipAck,
     MembershipDelta,
@@ -28,7 +32,30 @@ from repro.overlay.router_fullmesh import FullMeshRouter
 from repro.overlay.router_quorum import QuorumRouter
 from repro.overlay.stats import BandwidthRecorder
 
-__all__ = ["OverlayNode"]
+if TYPE_CHECKING:
+    from repro.overlay.gossip import GossipMembershipNode
+
+__all__ = ["OverlayNode", "backoff_delay"]
+
+
+def backoff_delay(
+    attempt: int,
+    base_s: float,
+    max_s: float,
+    jitter: float,
+    rng: Optional[np.random.Generator],
+) -> float:
+    """Jittered exponential backoff delay for (0-based) ``attempt``.
+
+    ``base_s * 2**attempt`` capped at ``max_s``, stretched by a uniform
+    factor in ``[1, 1 + jitter]`` so correlated failures do not make
+    every retrier fire in lockstep. Shared by the coordinator ring walk
+    and the gossip plane's anti-entropy pull retries.
+    """
+    delay = min(base_s * (2.0**attempt), max_s)
+    if rng is not None and jitter > 0:
+        delay *= 1.0 + jitter * float(rng.random())
+    return delay
 
 
 class OverlayNode:
@@ -71,6 +98,7 @@ class OverlayNode:
         "_ring_phases",
         "membership_failovers",
         "membership_retries",
+        "gossip",
     )
 
     def __init__(
@@ -167,6 +195,12 @@ class OverlayNode:
         self._ring_phases: Optional[Tuple[float, float]] = None
         self.membership_failovers = 0
         self.membership_retries = 0
+        #: Coordinator-free membership: the node's gossip engine
+        #: (attached by the harness when ``membership_mode="gossip"``).
+        #: When set, gossip wire messages dispatch to it and view
+        #: installs come from :meth:`install_gossip_view` instead of the
+        #: coordinator's pushes.
+        self.gossip: Optional["GossipMembershipNode"] = None
         self.router.on_version_gap = self._on_router_version_gap
         transport.register(node_id, self.on_message)
 
@@ -211,6 +245,8 @@ class OverlayNode:
             self._ring_phases = (monitor_phase, router_phase)
             self._coord_heard_at = self.sim.now
             self._start_failover_watch()
+        if self.gossip is not None:
+            self.gossip.on_node_start()
 
     def schedule_start(
         self, delay: float, monitor_phase: float, router_phase: float
@@ -241,12 +277,15 @@ class OverlayNode:
         """
         if self._pending_start is not None or self._start_on_view is not None:
             raise ConfigError(f"node {self.id} already has a pending start")
-        if self.membership_addr is None:
+        if self.membership_addr is None and self.gossip is None:
             raise ConfigError(f"node {self.id} has no membership address")
         self._start_on_view = (monitor_phase, router_phase)
-        self._acquire_timer = self.sim.periodic(
-            acquire_interval_s, self.send_membership_refresh, phase=acquire_interval_s
-        )
+        if self.membership_addr is not None:
+            self._acquire_timer = self.sim.periodic(
+                acquire_interval_s,
+                self.send_membership_refresh,
+                phase=acquire_interval_s,
+            )
         if self.membership_ring is not None:
             # The coordinator this joiner is pointed at may be dead (its
             # join could even be the one lost in the coordinator's
@@ -277,6 +316,8 @@ class OverlayNode:
     def stop(self) -> None:
         self._cancel_pending_start()
         self._stop_failover_watch()
+        if self.gossip is not None:
+            self.gossip.on_node_stop()
         if self._started:
             self.monitor.stop()
             self.router.stop()
@@ -360,6 +401,9 @@ class OverlayNode:
             )
         elif isinstance(msg, MembershipAck):
             self._on_membership_ack(msg, src)
+        elif isinstance(msg, (GossipDigest, GossipPull, GossipOps, GossipSnapshot)):
+            if self.gossip is not None:
+                self.gossip.on_message(msg, src)
         # Probes are handled by the vectorized monitor fast path.
 
     def on_view(self, update: ViewUpdate, epoch: int = 0) -> None:
@@ -435,6 +479,44 @@ class OverlayNode:
         self._repair_requested_from = None
         self._maybe_start_on_view()
 
+    def install_gossip_view(self, members: Sequence[int], version: int) -> bool:
+        """Install a locally-resolved gossip membership view.
+
+        The gossip engine calls this after its version vector advances.
+        ``version`` is the engine's packed view version — identical
+        across nodes holding identical op knowledge, strictly increasing
+        locally — so the routers' version-equality drop rule keeps
+        working with epoch 0. Members identical to the held view get a
+        version-only rebrand (no grid rebuild); otherwise a synthesized
+        delta drives the incremental resize path. Returns True when a
+        view was installed.
+        """
+        if not self._registered:
+            return False
+        member_tuple = tuple(members)
+        if self.id not in member_tuple:
+            return False  # the engine refutes before re-installing
+        current = self.router.view
+        if current is not None and version <= current.version:
+            return False
+        view = MembershipView(version=version, members=member_tuple)
+        if current is None:
+            self.router.on_view_change(view)
+        elif current.members == member_tuple:
+            self.router.rebrand_view(view)
+        else:
+            current_set = set(current.members)
+            member_set = set(member_tuple)
+            delta = ViewDelta(
+                from_version=current.version,
+                to_version=version,
+                joined=tuple(sorted(member_set - current_set)),
+                left=tuple(sorted(current_set - member_set)),
+            )
+            self.router.on_view_delta(view, delta)
+        self._maybe_start_on_view()
+        return True
+
     def _on_expelled(self) -> None:
         """Handle a view that no longer contains this node.
 
@@ -507,9 +589,13 @@ class OverlayNode:
     def _on_router_version_gap(self) -> None:
         """The router saw a routing message from a newer view: we are
         behind (our update was lost); ask for repair without waiting for
-        the next heartbeat."""
-        if self._started:
-            self._request_view_repair()
+        the next heartbeat (coordinator plane) or gossip round."""
+        if not self._started:
+            return
+        if self.gossip is not None:
+            self.gossip.nudge()
+            return
+        self._request_view_repair()
 
     # ------------------------------------------------------------------
     # Coordinator failover client
@@ -602,13 +688,13 @@ class OverlayNode:
 
     def _schedule_retry(self) -> None:
         cfg = self.config
-        delay = min(
-            cfg.membership_retry_base_s * (2.0 ** self._retry_attempt),
+        delay = backoff_delay(
+            self._retry_attempt,
+            cfg.membership_retry_base_s,
             cfg.membership_retry_max_s,
+            cfg.membership_retry_jitter,
+            self._failover_rng,
         )
-        rng = self._failover_rng
-        if rng is not None and cfg.membership_retry_jitter > 0:
-            delay *= 1.0 + cfg.membership_retry_jitter * float(rng.random())
         self._retry_event = self.sim.schedule(delay, self._retry_tick)
 
     def _retry_tick(self) -> None:

@@ -159,6 +159,22 @@ class RouterBase(abc.ABC):
         self.view = None
         self.me_idx = -1
 
+    def rebrand_view(self, view: MembershipView) -> None:
+        """Adopt a new view *version* whose member set is unchanged.
+
+        The gossip plane advances its packed view version on every
+        membership-op merge, including ones (heartbeat-only knowledge,
+        refuted expiries) that leave the resolved member set identical.
+        All per-view routing state is still valid — only the version tag
+        routing messages carry needs to move.
+        """
+        held = self._require_view()
+        if view.members != held.members:
+            raise RoutingError(
+                f"rebrand at node {self.me} would change the member set"
+            )
+        self.view = view
+
     def on_view_change(self, view: MembershipView) -> None:
         """Install a new membership view and rebuild routing state."""
         self.view = view

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.net.packet import (
+    KIND_GOSSIP,
     KIND_LINKSTATE,
     KIND_MEMBERSHIP,
     KIND_MEMBERSHIP_CTRL,
@@ -32,6 +33,7 @@ from repro.net.packet import (
 __all__ = [
     "ROUTING_KINDS",
     "MEMBERSHIP_KINDS",
+    "GOSSIP_KINDS",
     "ALL_KINDS",
     "BandwidthRecorder",
     "DisruptionRecorder",
@@ -50,12 +52,20 @@ ROUTING_KINDS: Tuple[str, ...] = (KIND_LINKSTATE, KIND_RECOMMENDATION)
 #: heartbeat, which would otherwise drown its view-update numbers.
 MEMBERSHIP_KINDS: Tuple[str, ...] = (KIND_MEMBERSHIP,)
 
+#: Coordinator-free membership traffic (the whole gossip plane: digest
+#: pushes, anti-entropy pulls, op replays, snapshots). Its byte cost is
+#: compared against ``member`` + ``member-ctl`` — the coordinator
+#: plane's *total* cost including heartbeats, since gossip subsumes
+#: liveness tracking too.
+GOSSIP_KINDS: Tuple[str, ...] = (KIND_GOSSIP,)
+
 ALL_KINDS: Tuple[str, ...] = (
     KIND_PROBE,
     KIND_LINKSTATE,
     KIND_RECOMMENDATION,
     KIND_MEMBERSHIP,
     KIND_MEMBERSHIP_CTRL,
+    KIND_GOSSIP,
 )
 
 

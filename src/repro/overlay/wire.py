@@ -49,6 +49,11 @@ __all__ = [
     "MEMBERSHIP_REFRESH_BYTES",
     "MEMBERSHIP_ACK_BYTES",
     "COORDINATOR_SYNC_BYTES",
+    "GOSSIP_COUNT_BYTES",
+    "GOSSIP_VV_ENTRY_BYTES",
+    "GOSSIP_OP_BYTES",
+    "GOSSIP_RECORD_BYTES",
+    "GOSSIP_STAMP_BYTES",
     "LATENCY_DEAD",
     "MAX_ENCODABLE_LATENCY_MS",
     "linkstate_message_bytes",
@@ -59,12 +64,20 @@ __all__ = [
     "membership_ack_message_bytes",
     "coordinator_sync_message_bytes",
     "coordinator_replicate_message_bytes",
+    "gossip_digest_message_bytes",
+    "gossip_pull_message_bytes",
+    "gossip_ops_message_bytes",
+    "gossip_snapshot_message_bytes",
     "encode_linkstate",
     "decode_linkstate",
     "encode_recommendations",
     "decode_recommendations",
     "encode_view_delta",
     "decode_view_delta",
+    "encode_gossip_digest",
+    "decode_gossip_digest",
+    "encode_gossip_ops",
+    "decode_gossip_ops",
 ]
 
 #: Per-message overhead (UDP/IP + application header), calibrated to the
@@ -123,6 +136,29 @@ MEMBERSHIP_ACK_BYTES = HEADER_BYTES + EPOCH_BYTES + VIEW_VERSION_BYTES + NODE_ID
 #: Coordinator-to-coordinator control (heartbeat / pull): header plus
 #: the sender's epoch and view version.
 COORDINATOR_SYNC_BYTES = HEADER_BYTES + EPOCH_BYTES + VIEW_VERSION_BYTES
+
+#: Gossip messages carry 2-byte entry counts (like delta counts).
+GOSSIP_COUNT_BYTES = DELTA_COUNT_BYTES
+
+#: One version-vector (or heartbeat-vector) entry: a 2-byte origin node
+#: ID plus a 4-byte per-origin sequence (or heartbeat counter).
+GOSSIP_VV_ENTRY_BYTES = NODE_ID_BYTES + VIEW_VERSION_BYTES
+
+#: Incarnation stamps (SWIM-style per-target refutation counters) are
+#: 4-byte integers: they grow with each leave/rejoin cycle of a member.
+GOSSIP_STAMP_BYTES = 4
+
+#: One replayed membership op: origin ID (2 B), per-origin seq (4 B),
+#: action byte, target ID (2 B), incarnation stamp (4 B).
+GOSSIP_OP_BYTES = (
+    NODE_ID_BYTES + VIEW_VERSION_BYTES + 1 + NODE_ID_BYTES + GOSSIP_STAMP_BYTES
+)
+
+#: One resolved snapshot record: target ID (2 B), winning incarnation
+#: stamp (4 B), winning action byte, op-origin ID (2 B). Snapshots carry
+#: resolved per-target state, not the op history, so their size is
+#: O(members ever seen), not O(ops).
+GOSSIP_RECORD_BYTES = NODE_ID_BYTES + GOSSIP_STAMP_BYTES + 1 + NODE_ID_BYTES
 
 #: Wire sentinel for a dead/unreachable destination.
 LATENCY_DEAD = 0xFFFF
@@ -189,6 +225,34 @@ def coordinator_replicate_message_bytes(
         else membership_message_bytes(members)
     )
     return inner + EPOCH_BYTES
+
+
+def gossip_digest_message_bytes(vv_entries: int, hb_entries: int) -> int:
+    """Wire size of a gossip digest (version vector + heartbeat vector)."""
+    return (
+        HEADER_BYTES
+        + 2 * GOSSIP_COUNT_BYTES
+        + GOSSIP_VV_ENTRY_BYTES * (vv_entries + hb_entries)
+    )
+
+def gossip_pull_message_bytes(ranges: int) -> int:
+    """Wire size of an anti-entropy pull requesting ``ranges`` origins."""
+    return HEADER_BYTES + GOSSIP_COUNT_BYTES + GOSSIP_VV_ENTRY_BYTES * ranges
+
+def gossip_ops_message_bytes(ops: int) -> int:
+    """Wire size of a membership-op replay carrying ``ops`` ops."""
+    return HEADER_BYTES + GOSSIP_COUNT_BYTES + GOSSIP_OP_BYTES * ops
+
+def gossip_snapshot_message_bytes(
+    vv_entries: int, records: int, hb_entries: int
+) -> int:
+    """Wire size of a full resolved-state gossip snapshot."""
+    return (
+        HEADER_BYTES
+        + 3 * GOSSIP_COUNT_BYTES
+        + GOSSIP_VV_ENTRY_BYTES * (vv_entries + hb_entries)
+        + GOSSIP_RECORD_BYTES * records
+    )
 
 
 # ----------------------------------------------------------------------
@@ -330,3 +394,114 @@ def decode_view_delta(data: bytes) -> Tuple[int, int, Tuple[int, ...], Tuple[int
         tuple(ids[:n_joined]),
         tuple(ids[n_joined:]),
     )
+
+
+# ----------------------------------------------------------------------
+# Gossip codecs
+# ----------------------------------------------------------------------
+def _encode_id_u32_pairs(pairs: Sequence[Tuple[int, int]], what: str) -> bytes:
+    out = bytearray()
+    for node, value in pairs:
+        if not 0 <= node <= 0xFFFF:
+            raise WireFormatError(f"node IDs must fit in 16 bits: {node}")
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise WireFormatError(f"{what} must fit in 32 bits: {value}")
+        out += struct.pack(">HI", node, value)
+    return bytes(out)
+
+
+def _decode_id_u32_pairs(data: bytes, offset: int, count: int) -> Tuple[Tuple[int, int], ...]:
+    return tuple(
+        struct.unpack_from(">HI", data, offset + GOSSIP_VV_ENTRY_BYTES * k)
+        for k in range(count)
+    )
+
+
+def encode_gossip_digest(
+    vv: Sequence[Tuple[int, int]],
+    heartbeats: Sequence[Tuple[int, int]],
+) -> bytes:
+    """Encode a gossip digest payload.
+
+    Layout: vv count and heartbeat count (2 B each), then the version
+    vector as ``(origin, seq)`` pairs and the heartbeat vector as
+    ``(member, heartbeat)`` pairs — 6 bytes per entry each
+    (:func:`gossip_digest_message_bytes` minus the header).
+    """
+    if len(vv) > 0xFFFF or len(heartbeats) > 0xFFFF:
+        raise WireFormatError("gossip entry counts must fit in 16 bits")
+    out = bytearray(struct.pack(">HH", len(vv), len(heartbeats)))
+    out += _encode_id_u32_pairs(vv, "version-vector seqs")
+    out += _encode_id_u32_pairs(heartbeats, "heartbeat counters")
+    return bytes(out)
+
+
+def decode_gossip_digest(
+    data: bytes,
+) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[Tuple[int, int], ...]]:
+    """Inverse of :func:`encode_gossip_digest` → ``(vv, heartbeats)``."""
+    fixed = 2 * GOSSIP_COUNT_BYTES
+    if len(data) < fixed:
+        raise WireFormatError(f"gossip digest too short: {len(data)} bytes")
+    n_vv, n_hb = struct.unpack_from(">HH", data, 0)
+    expected = fixed + GOSSIP_VV_ENTRY_BYTES * (n_vv + n_hb)
+    if len(data) != expected:
+        raise WireFormatError(
+            f"gossip digest is {len(data)} bytes, expected {expected}"
+        )
+    vv = _decode_id_u32_pairs(data, fixed, n_vv)
+    heartbeats = _decode_id_u32_pairs(
+        data, fixed + GOSSIP_VV_ENTRY_BYTES * n_vv, n_hb
+    )
+    return vv, heartbeats
+
+
+def encode_gossip_ops(
+    ops: Sequence[Tuple[int, int, int, int, int]],
+) -> bytes:
+    """Encode a membership-op replay payload.
+
+    Each op is ``(origin, seq, action, target, stamp)``: origin ID and
+    per-origin sequence locate the op in the origin's log; the action
+    byte (1 = join, 2 = leave, 3 = expire) plus target ID and
+    incarnation stamp are the op body — 13 bytes per op
+    (:func:`gossip_ops_message_bytes` minus the header).
+    """
+    if len(ops) > 0xFFFF:
+        raise WireFormatError("gossip op counts must fit in 16 bits")
+    out = bytearray(struct.pack(">H", len(ops)))
+    for origin, seq, action, target, stamp in ops:
+        if not (0 <= origin <= 0xFFFF and 0 <= target <= 0xFFFF):
+            raise WireFormatError(
+                f"node IDs must fit in 16 bits: ({origin}, {target})"
+            )
+        if not (0 <= seq <= 0xFFFFFFFF and 0 <= stamp <= 0xFFFFFFFF):
+            raise WireFormatError(
+                f"op seq/stamp must fit in 32 bits: ({seq}, {stamp})"
+            )
+        if not 1 <= action <= 3:
+            raise WireFormatError(f"unknown gossip op action: {action}")
+        out += struct.pack(">HIBHI", origin, seq, action, target, stamp)
+    return bytes(out)
+
+
+def decode_gossip_ops(data: bytes) -> Tuple[Tuple[int, int, int, int, int], ...]:
+    """Inverse of :func:`encode_gossip_ops`."""
+    fixed = GOSSIP_COUNT_BYTES
+    if len(data) < fixed:
+        raise WireFormatError(f"gossip ops payload too short: {len(data)} bytes")
+    (count,) = struct.unpack_from(">H", data, 0)
+    expected = fixed + GOSSIP_OP_BYTES * count
+    if len(data) != expected:
+        raise WireFormatError(
+            f"gossip ops payload is {len(data)} bytes, expected {expected}"
+        )
+    ops = []
+    for k in range(count):
+        origin, seq, action, target, stamp = struct.unpack_from(
+            ">HIBHI", data, fixed + GOSSIP_OP_BYTES * k
+        )
+        if not 1 <= action <= 3:
+            raise WireFormatError(f"unknown gossip op action: {action}")
+        ops.append((origin, seq, action, target, stamp))
+    return tuple(ops)

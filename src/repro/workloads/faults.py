@@ -1,15 +1,15 @@
-"""Membership-plane fault injection (coordinator failover scenarios).
+"""Fault injection plans: coordinator, member, and underlay faults in one trace.
 
-A :class:`FaultPlan` layers coordinator-targeted faults on top of the
-existing failure machinery: coordinator crash/restore events are
-scheduled on the overlay's simulator (like
+A :class:`FaultPlan` layers correlated faults on top of the existing
+failure machinery: coordinator crash/restore and member crash/join/leave
+events are scheduled on the overlay's simulator (like
 :class:`~repro.workloads.engine.ChurnWorkload` events), while partitions
-compile down to an ordinary
-:class:`~repro.net.failures.FailureTable` of cross-side
+and node outages compile down to an ordinary
+:class:`~repro.net.failures.FailureTable` of
 :class:`~repro.net.failures.OutageSchedule` windows — built *before* the
 overlay, because outage schedules are immutable topology inputs.
 
-The three fault shapes the coordinator-failover suite needs:
+The fault shapes the failover and gossip-membership suites need:
 
 * :func:`crash_coordinator` / :func:`restore_coordinator` — crash-stop a
   coordinator endpoint (timed to land inside an open ``notify_batch_s``
@@ -20,6 +20,18 @@ The three fault shapes the coordinator-failover suite needs:
   mass-expiry, bounded staleness); partitioning the coordinators from
   *each other* while each side keeps some members forces conflicting
   concurrent views, which the epoch rule must converge after healing.
+  Windows for the same side pair that overlap (or touch) are merged at
+  construction time, so a plan never compiles two conflicting
+  ``OutageSchedule`` windows for one cut.
+* :func:`node_outage` — take a node's *links* down for a window without
+  crashing its process: the node keeps gossiping into a void and must
+  reconcile when connectivity returns. This is the underlay half of a
+  correlated-failure trace.
+* :func:`fail_node` / :func:`join_node` / :func:`leave_node` and
+  :func:`add_churn` — member-level crashes and (re)joins, so one plan
+  can combine a :class:`~repro.workloads.trace.ChurnTrace` (e.g. a
+  correlated rack crash) with coordinator faults and underlay outages
+  under a single deterministic schedule.
 
 Coordinator endpoints share their host node's links, so "partition
 coordinator i from members S" is expressed by cutting ``host(i)`` from
@@ -29,17 +41,25 @@ coordinator i from members S" is expressed by cutting ``host(i)`` from
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import WorkloadError
-from repro.net.failures import FailureTable, build_partition_table
+from repro.net.failures import FailureTable, OutageSchedule, build_partition_table
 from repro.overlay.coordination import CoordinatorGroup
 from repro.overlay.harness import Overlay
+from repro.workloads.trace import (
+    ACTION_FAIL,
+    ACTION_JOIN,
+    ACTION_LEAVE,
+    ChurnTrace,
+)
 
-__all__ = ["FaultEvent", "FaultPlan"]
+__all__ = ["FaultEvent", "MemberEvent", "FaultPlan"]
 
 ACTION_CRASH_COORD = "crash-coordinator"
 ACTION_RESTORE_COORD = "restore-coordinator"
+
+_MEMBER_ACTIONS = (ACTION_JOIN, ACTION_LEAVE, ACTION_FAIL)
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,18 +79,63 @@ class FaultEvent:
             raise WorkloadError("coordinator index must be non-negative")
 
 
+@dataclass(frozen=True, slots=True)
+class MemberEvent:
+    """One scheduled member-level fault (crash, join, or graceful leave)."""
+
+    time: float
+    action: str
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise WorkloadError("member event time must be non-negative")
+        if self.action not in _MEMBER_ACTIONS:
+            raise WorkloadError(f"unknown member action {self.action!r}")
+        if self.node < 0:
+            raise WorkloadError("node id must be non-negative")
+
+
+def _canonical_sides(
+    side_a: Sequence[int], side_b: Sequence[int]
+) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Validate and canonicalize a partition's side pair.
+
+    Sides are deduplicated, sorted, and ordered so the lexicographically
+    smaller side comes first — two cuts severing the same pair of sets
+    always canonicalize identically, which is what lets overlapping
+    windows for the same cut be detected and merged.
+    """
+    a = tuple(sorted(set(int(i) for i in side_a)))
+    b = tuple(sorted(set(int(i) for i in side_b)))
+    if not a or not b:
+        raise WorkloadError("partition sides must be non-empty")
+    if a[0] < 0 or b[0] < 0:
+        raise WorkloadError("partition sides must contain node ids >= 0")
+    if set(a) & set(b):
+        raise WorkloadError("partition sides must be disjoint")
+    return (a, b) if a <= b else (b, a)
+
+
 @dataclass(slots=True)
 class FaultPlan:
-    """A deterministic schedule of membership-plane faults.
+    """A deterministic schedule of membership-plane and underlay faults.
 
     Build the plan first, derive its :meth:`failure_table` to construct
     the overlay's topology, then :meth:`install` it on the built overlay
-    to schedule the crash/restore events.
+    to schedule the crash/restore/churn events.
     """
 
     events: List[FaultEvent] = field(default_factory=list)
+    #: Member-level crash/join/leave events.
+    member_events: List[MemberEvent] = field(default_factory=list)
     #: Partition cuts as ``(start, end, side_a, side_b)`` node-id sets.
+    #: Sides are canonicalized and same-pair windows merged on insert.
     cuts: List[Tuple[float, float, Tuple[int, ...], Tuple[int, ...]]] = field(
+        default_factory=list
+    )
+    #: Link-level node outages as ``(start, end, nodes)``.
+    node_outages: List[Tuple[float, float, Tuple[int, ...]]] = field(
         default_factory=list
     )
 
@@ -87,6 +152,35 @@ class FaultPlan:
         self.events.append(FaultEvent(time, ACTION_RESTORE_COORD, index))
         return self
 
+    def fail_node(self, time: float, node: int) -> "FaultPlan":
+        """Crash-stop member ``node`` at ``time``."""
+        self.member_events.append(MemberEvent(time, ACTION_FAIL, node))
+        return self
+
+    def join_node(self, time: float, node: int) -> "FaultPlan":
+        """Join (or reboot) member ``node`` at ``time``."""
+        self.member_events.append(MemberEvent(time, ACTION_JOIN, node))
+        return self
+
+    def leave_node(self, time: float, node: int) -> "FaultPlan":
+        """Gracefully depart member ``node`` at ``time``."""
+        self.member_events.append(MemberEvent(time, ACTION_LEAVE, node))
+        return self
+
+    def add_churn(self, trace: ChurnTrace) -> "FaultPlan":
+        """Absorb every event of a :class:`ChurnTrace` into this plan.
+
+        This is how a correlated crash set (e.g.
+        :meth:`ChurnTrace.correlated_failure`) combines with coordinator
+        faults and underlay outages in one deterministic trace. The
+        trace's feasibility was validated on its construction; the
+        combined plan is replayed against the overlay's own state at
+        install time.
+        """
+        for ev in trace.events:
+            self.member_events.append(MemberEvent(ev.time, ev.action, ev.node))
+        return self
+
     def partition(
         self,
         start: float,
@@ -94,35 +188,96 @@ class FaultPlan:
         side_a: Sequence[int],
         side_b: Sequence[int],
     ) -> "FaultPlan":
-        """Cut every ``side_a`` <-> ``side_b`` link during ``[start, end)``."""
+        """Cut every ``side_a`` <-> ``side_b`` link during ``[start, end)``.
+
+        Sides must be non-empty and disjoint. A window that overlaps (or
+        exactly duplicates) an earlier window for the same side pair is
+        merged with it instead of being stored twice — the plan's
+        ``cuts`` list always holds disjoint windows per canonical pair,
+        so it reads back as the schedule that will actually be compiled.
+        """
         if end <= start:
             raise WorkloadError(f"bad partition window [{start}, {end})")
-        self.cuts.append(
-            (float(start), float(end), tuple(side_a), tuple(side_b))
-        )
+        sides = _canonical_sides(side_a, side_b)
+        lo, hi = float(start), float(end)
+        kept: List[Tuple[float, float, Tuple[int, ...], Tuple[int, ...]]] = []
+        for cut in self.cuts:
+            c_start, c_end, c_a, c_b = cut
+            if (c_a, c_b) == sides and c_start <= hi and lo <= c_end:
+                # Overlapping or touching window for the same cut: widen
+                # the new window to cover it and drop the old entry.
+                lo = min(lo, c_start)
+                hi = max(hi, c_end)
+            else:
+                kept.append(cut)
+        kept.append((lo, hi, sides[0], sides[1]))
+        self.cuts[:] = kept
+        return self
+
+    def node_outage(
+        self, start: float, end: float, nodes: Sequence[int]
+    ) -> "FaultPlan":
+        """Take every link of ``nodes`` down during ``[start, end)``.
+
+        Unlike :meth:`fail_node` the node processes keep running — this
+        models a connectivity blackout (access-link cut, rack uplink
+        loss), after which the isolated nodes must anti-entropy their
+        way back to the converged view.
+        """
+        if end <= start:
+            raise WorkloadError(f"bad outage window [{start}, {end})")
+        ids = tuple(sorted(set(int(i) for i in nodes)))
+        if not ids:
+            raise WorkloadError("node outage needs at least one node")
+        if ids[0] < 0:
+            raise WorkloadError("node outage ids must be >= 0")
+        self.node_outages.append((float(start), float(end), ids))
         return self
 
     # ------------------------------------------------------------------
     # Application
     # ------------------------------------------------------------------
     def failure_table(self, n: int) -> FailureTable:
-        """The partition cuts compiled to link outage schedules.
+        """The partition cuts and node outages compiled to outage schedules.
 
         Pass the result to ``build_overlay(..., failures=...)`` (the
-        crash/restore events are not part of it — they are simulator
-        events installed later).
+        crash/restore/churn events are not part of it — they are
+        simulator events installed later).
         """
-        return build_partition_table(n, self.cuts)
+        table = build_partition_table(n, self.cuts)
+        if not self.node_outages:
+            return table
+        windows: Dict[int, List[Tuple[float, float]]] = {}
+        for start, end, ids in self.node_outages:
+            for node in ids:
+                if not 0 <= node < n:
+                    raise WorkloadError(f"outage node {node} out of range for n={n}")
+                windows.setdefault(node, []).append((start, end))
+        return FailureTable(
+            n=n,
+            link_schedules=table.link_schedules,
+            node_schedules={
+                node: OutageSchedule(intervals)
+                for node, intervals in sorted(windows.items())
+            },
+        )
 
     def install(self, overlay: Overlay) -> None:
-        """Schedule every crash/restore event on the overlay's simulator."""
+        """Schedule every crash/restore/churn event on the overlay's simulator.
+
+        Coordinator events require the overlay to run the replicated
+        coordinator plane; a plan holding only member events and outages
+        installs onto any membership plane (the gossip scenarios rely on
+        this to replay the identical member-level trace on both planes).
+        """
         group = overlay.membership
-        if not isinstance(group, CoordinatorGroup):
+        if self.events and not isinstance(group, CoordinatorGroup):
             raise WorkloadError(
                 "coordinator faults need num_coordinators > 1 "
                 "(overlay.membership must be a CoordinatorGroup)"
             )
         for ev in sorted(self.events, key=lambda e: (e.time, e.coordinator)):
+            assert isinstance(group, CoordinatorGroup)
             if ev.coordinator >= len(group.coordinators):
                 raise WorkloadError(
                     f"coordinator {ev.coordinator} does not exist "
@@ -140,3 +295,18 @@ class FaultPlan:
                 overlay.sim.schedule_at(
                     ev.time, group.restore_coordinator, ev.coordinator
                 )
+        for mev in sorted(self.member_events, key=lambda e: (e.time, e.node)):
+            if mev.node >= overlay.n:
+                raise WorkloadError(
+                    f"member event node {mev.node} out of range (n={overlay.n})"
+                )
+            if mev.time < overlay.sim.now:
+                raise WorkloadError(
+                    f"member event at t={mev.time} is in the past"
+                )
+            if mev.action == ACTION_FAIL:
+                overlay.sim.schedule_at(mev.time, overlay.fail_node, mev.node)
+            elif mev.action == ACTION_JOIN:
+                overlay.sim.schedule_at(mev.time, overlay.join_node, mev.node)
+            else:
+                overlay.sim.schedule_at(mev.time, overlay.leave_node, mev.node)

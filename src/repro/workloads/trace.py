@@ -24,6 +24,15 @@ literature evaluates:
   service evicts the stale crashed entry (or has already expired it) so
   the re-``join`` is clean.
 
+* :meth:`ChurnTrace.correlated_failure` — crash whole *groups* of nodes
+  near-simultaneously (a rack power loss, an AS-level outage): failures
+  in deployed systems are correlated, not independent, and correlated
+  loss is what stresses epidemic dissemination hardest because an entire
+  neighborhood of gossip peers disappears at once.
+* :meth:`ChurnTrace.poisson_diurnal` — Poisson churn whose rate follows
+  a diurnal (cosine) profile, the day/night load shape measurement
+  studies report for deployed peer-to-peer systems.
+
 Feasibility (joins only of standby *or* previously crashed nodes,
 departures only of active nodes, never fewer than ``min_active``
 members) is validated on construction by replaying the events
@@ -307,6 +316,160 @@ class ChurnTrace:
             n=n,
             initial_active=tuple(range(n)),
             events=events,
+            duration_s=duration_s,
+        )
+
+    @staticmethod
+    def correlated_failure(
+        n: int,
+        group_size: int,
+        groups_to_fail: int,
+        crash_at_s: float,
+        duration_s: float,
+        seed: int,
+        reboot_at_s: float | None = None,
+        spread_s: float = 2.0,
+    ) -> "ChurnTrace":
+        """Crash whole node groups (racks / ASes) near-simultaneously.
+
+        Nodes ``0..n-1`` are partitioned into contiguous groups of
+        ``group_size`` (the last group may be smaller); the trace crashes
+        ``groups_to_fail`` uniformly chosen groups, every member of a
+        chosen group within ``spread_s`` seconds of ``crash_at_s``. If
+        ``reboot_at_s`` is given, the same nodes rejoin around it —
+        rack power restored. Contiguous grouping matches the harness's
+        convention that nearby ids share infrastructure (coordinator
+        hosts are spread as ``(i*n)//k`` for exactly this reason).
+        """
+        if group_size < 1:
+            raise WorkloadError("group_size must be >= 1")
+        if spread_s < 0:
+            raise WorkloadError("spread_s must be non-negative")
+        num_groups = (n + group_size - 1) // group_size
+        if not 1 <= groups_to_fail < num_groups:
+            raise WorkloadError(
+                f"groups_to_fail must be in [1, {num_groups}) for "
+                f"n={n}, group_size={group_size}"
+            )
+        if not 0.0 <= crash_at_s or crash_at_s + spread_s >= duration_s:
+            raise WorkloadError("crash burst must land inside the trace")
+        if reboot_at_s is not None and not (
+            crash_at_s + spread_s < reboot_at_s
+            and reboot_at_s + spread_s < duration_s
+        ):
+            raise WorkloadError(
+                "reboot burst must start after the crash burst and land "
+                "inside the trace"
+            )
+        rng = np.random.default_rng(seed)
+        chosen = sorted(
+            rng.choice(num_groups, size=groups_to_fail, replace=False).tolist()
+        )
+        failed = sorted(
+            node
+            for g in chosen
+            for node in range(g * group_size, min((g + 1) * group_size, n))
+        )
+        if n - len(failed) < 4:
+            raise WorkloadError("correlated failure would leave fewer than 4 nodes")
+        crash_offsets = rng.uniform(0.0, spread_s, size=len(failed))
+        events = [
+            ChurnEvent(time=crash_at_s + float(off), action=ACTION_FAIL, node=node)
+            for node, off in zip(failed, crash_offsets)
+        ]
+        if reboot_at_s is not None:
+            reboot_offsets = rng.uniform(0.0, spread_s, size=len(failed))
+            events.extend(
+                ChurnEvent(
+                    time=reboot_at_s + float(off), action=ACTION_JOIN, node=node
+                )
+                for node, off in zip(failed, reboot_offsets)
+            )
+        events.sort(key=lambda ev: ev.time)
+        return ChurnTrace(
+            n=n,
+            initial_active=tuple(range(n)),
+            events=tuple(events),
+            duration_s=duration_s,
+        )
+
+    @staticmethod
+    def poisson_diurnal(
+        n: int,
+        peak_rate_per_s: float,
+        duration_s: float,
+        seed: int,
+        period_s: float,
+        floor_fraction: float = 0.2,
+        active_fraction: float = 0.75,
+        crash_fraction: float = 0.5,
+        min_active: int = 8,
+        warmup_s: float = 0.0,
+    ) -> "ChurnTrace":
+        """Poisson churn modulated by a diurnal (cosine) rate profile.
+
+        The instantaneous event rate is::
+
+            rate(t) = peak * (floor + (1 - floor) * (1 - cos(2*pi*t/T)) / 2)
+
+        i.e. it dips to ``floor_fraction * peak`` at ``t = 0, T, 2T, ...``
+        and peaks halfway through each period — the day/night shape of
+        measured peer-to-peer session traces. Events are drawn by
+        Lewis-Shedler thinning of a homogeneous ``peak_rate_per_s``
+        process; join/leave/crash mechanics match :meth:`poisson`.
+        """
+        if peak_rate_per_s <= 0:
+            raise WorkloadError("peak_rate_per_s must be positive")
+        if period_s <= 0:
+            raise WorkloadError("period_s must be positive")
+        if not 0.0 <= floor_fraction <= 1.0:
+            raise WorkloadError("floor_fraction must be in [0, 1]")
+        if not 0.0 <= crash_fraction <= 1.0:
+            raise WorkloadError("crash_fraction must be in [0, 1]")
+        if not 0.0 < active_fraction <= 1.0:
+            raise WorkloadError("active_fraction must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        k = max(min(n, min_active), int(round(n * active_fraction)))
+        initial = tuple(sorted(rng.choice(n, size=k, replace=False).tolist()))
+        active = set(initial)
+        standby = sorted(set(range(n)) - active)
+        events: List[ChurnEvent] = []
+        two_pi = 2.0 * np.pi
+        t = warmup_s + float(rng.exponential(1.0 / peak_rate_per_s))
+        while t < duration_s:
+            # Thinning: accept this candidate with probability
+            # rate(t) / peak, which is the bracket of the profile above.
+            profile = floor_fraction + (1.0 - floor_fraction) * 0.5 * (
+                1.0 - float(np.cos(two_pi * t / period_s))
+            )
+            if rng.random() < profile:
+                can_join = bool(standby)
+                can_depart = len(active) > min_active
+                if not can_join and not can_depart:
+                    break
+                if can_join and (not can_depart or rng.random() < 0.5):
+                    node = standby.pop(int(rng.integers(len(standby))))
+                    events.append(ChurnEvent(time=t, action=ACTION_JOIN, node=node))
+                    active.add(node)
+                else:
+                    pool = sorted(active)
+                    node = pool[int(rng.integers(len(pool)))]
+                    active.discard(node)
+                    if rng.random() < crash_fraction:
+                        events.append(
+                            ChurnEvent(time=t, action=ACTION_FAIL, node=node)
+                        )
+                    else:
+                        events.append(
+                            ChurnEvent(time=t, action=ACTION_LEAVE, node=node)
+                        )
+                        standby.append(node)
+                        standby.sort()
+            t += float(rng.exponential(1.0 / peak_rate_per_s))
+        return ChurnTrace(
+            n=n,
+            initial_active=initial,
+            events=tuple(events),
             duration_s=duration_s,
         )
 

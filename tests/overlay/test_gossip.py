@@ -1,0 +1,335 @@
+"""Coordinator-free gossip membership: engine semantics and convergence.
+
+Unit tests drive a single :class:`GossipMembershipNode` against stub
+node/transport objects (LWW record resolution, packed view versions,
+out-of-order op buffering, expiry dedup, refutation, dead-member
+probing, snapshot fallback); the end-to-end tests build a real gossip
+overlay and check bootstrap agreement, crash expiry, rejoin with a
+fresh incarnation, and graceful leave all converge to a single view
+version with no coordinator anywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.packet import GossipDigest, GossipOps, GossipPull, GossipSnapshot
+from repro.net.simulator import Simulator
+from repro.net.trace import planetlab_like
+from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.gossip import (
+    MAX_REPLAY_OPS,
+    OP_EXPIRE,
+    OP_JOIN,
+    OP_LEAVE,
+    GossipMembershipNode,
+    GossipMembershipPlane,
+    _record_key,
+    packed_view_version,
+)
+from repro.overlay.harness import build_overlay
+
+
+class StubNode:
+    """The slice of OverlayNode the engine touches."""
+
+    def __init__(self, sim, node_id):
+        self.sim = sim
+        self.id = node_id
+        self.registered = True
+        self.gossip = None
+        self.installed = []
+
+    def install_gossip_view(self, members, version):
+        self.installed.append((tuple(members), version))
+        return True
+
+
+class StubTransport:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, src, dst, msg):
+        self.sent.append((src, dst, msg))
+
+
+def make_engine(node_id=0, seed=0, **overrides):
+    cfg = dict(
+        membership_mode="gossip",
+        membership_in_band=False,
+        num_coordinators=1,
+        gossip_interval_s=5.0,
+        gossip_fanout=2,
+        membership_timeout_s=30.0,
+    )
+    cfg.update(overrides)
+    sim = Simulator()
+    node = StubNode(sim, node_id)
+    transport = StubTransport()
+    engine = GossipMembershipNode(
+        node, transport, OverlayConfig(**cfg), np.random.default_rng(seed)
+    )
+    engine.active = True
+    return engine, node, transport
+
+
+class TestRecordResolution:
+    def test_higher_stamp_wins(self):
+        assert _record_key((2, OP_JOIN, 0)) > _record_key((1, OP_EXPIRE, 9))
+        assert _record_key((3, OP_LEAVE, 0)) > _record_key((2, OP_JOIN, 5))
+
+    def test_death_beats_join_at_equal_stamp(self):
+        # SWIM's rule: refuting a death claim needs a *fresh* incarnation.
+        for dead in (OP_LEAVE, OP_EXPIRE):
+            assert _record_key((4, dead, 0)) > _record_key((4, OP_JOIN, 9))
+
+    def test_origin_breaks_exact_ties(self):
+        assert _record_key((4, OP_JOIN, 2)) > _record_key((4, OP_JOIN, 1))
+
+    def test_merge_record_is_lww(self):
+        engine, _, _ = make_engine()
+        assert engine._merge_record(7, (1, OP_JOIN, 7))
+        assert engine.alive_members() == (7,)
+        # A stale join does not resurrect past a same-stamp expiry.
+        assert engine._merge_record(7, (1, OP_EXPIRE, 3))
+        assert not engine._merge_record(7, (1, OP_JOIN, 7))
+        assert engine.alive_members() == ()
+        # The refutation incarnation does.
+        assert engine._merge_record(7, (2, OP_JOIN, 7))
+        assert engine.alive_members() == (7,)
+
+
+class TestPackedViewVersion:
+    def test_equal_vectors_equal_versions(self):
+        assert packed_view_version({1: 3, 2: 5}) == packed_view_version({2: 5, 1: 3})
+
+    def test_grows_under_merge(self):
+        vv = {}
+        last = packed_view_version(vv)
+        for origin, seq in [(0, 1), (1, 1), (0, 2), (2, 1)]:
+            vv[origin] = seq
+            cur = packed_view_version(vv)
+            assert cur > last
+            last = cur
+
+    def test_same_total_different_vectors_differ(self):
+        assert packed_view_version({0: 2, 1: 1}) != packed_view_version({0: 1, 1: 2})
+
+
+class TestOpApplication:
+    def test_out_of_order_ops_buffer_then_drain(self):
+        engine, _, _ = make_engine()
+        ops = [(5, seq, OP_JOIN, 10 + seq, 1) for seq in (3, 1, 2)]
+        engine._on_ops(GossipOps(origin=5, ops=(ops[0],)))
+        assert engine.vv.get(5, 0) == 0 and (5, 3) in engine.pending
+        engine._on_ops(GossipOps(origin=5, ops=(ops[1], ops[2])))
+        assert engine.vv[5] == 3 and not engine.pending
+        assert engine.alive_members() == (11, 12, 13)
+
+    def test_duplicate_ops_ignored(self):
+        engine, _, _ = make_engine()
+        op = (5, 1, OP_JOIN, 9, 1)
+        engine._on_ops(GossipOps(origin=5, ops=(op,)))
+        before = engine.view_version()
+        engine._on_ops(GossipOps(origin=5, ops=(op,)))
+        assert engine.view_version() == before
+
+    def test_seed_bootstrap_agrees_across_engines(self):
+        a, _, _ = make_engine(node_id=0, seed=1)
+        b, _, _ = make_engine(node_id=1, seed=2)
+        for engine in (a, b):
+            engine.seed_bootstrap(range(8))
+        assert a.view_version() == b.view_version()
+        assert a.alive_members() == b.alive_members() == tuple(range(8))
+
+
+class TestExpiryAndRefutation:
+    def test_expiry_originated_once_per_incarnation(self):
+        engine, _, _ = make_engine()
+        engine.seed_bootstrap([0, 1])
+        engine.sim.run_until(100.0)  # past membership_timeout_s=30
+        assert engine._check_expiries(engine.sim.now)
+        assert engine.alive_members() == (0,)
+        # Same stalled incarnation never expires twice.
+        assert not engine._check_expiries(engine.sim.now)
+        assert engine.counters.as_dict()["expiries"] == 1
+
+    def test_refutes_own_death_at_next_stamp(self):
+        engine, _, transport = make_engine()
+        engine.seed_bootstrap([0, 1])
+        engine._on_ops(GossipOps(origin=1, ops=((1, 2, OP_EXPIRE, 0, 1),)))
+        # The engine re-joined itself at stamp 2 and eagerly pushed it.
+        assert engine.records[0] == (2, OP_JOIN, 0)
+        assert engine.counters.as_dict()["refutes"] == 1
+        pushed = [m for _, _, m in transport.sent if isinstance(m, GossipOps)]
+        assert any(op[2] == OP_JOIN and op[3] == 0 for m in pushed for op in m.ops)
+
+    def test_inactive_engine_does_not_refute(self):
+        engine, _, _ = make_engine()
+        engine.seed_bootstrap([0, 1])
+        engine.active = False
+        engine._on_ops(GossipOps(origin=1, ops=((1, 2, OP_EXPIRE, 0, 1),)))
+        assert engine.records[0][1] == OP_EXPIRE
+
+
+class TestDigestExchange:
+    def test_behind_receiver_pulls_missing_ranges(self):
+        engine, _, transport = make_engine()
+        engine.seed_bootstrap([0, 1, 2])
+        engine._on_digest(
+            GossipDigest(origin=1, vv=((1, 4), (2, 1)), heartbeats=()), src=1
+        )
+        pulls = [m for _, dst, m in transport.sent if isinstance(m, GossipPull)]
+        assert pulls and pulls[0].ranges == ((1, 1),)
+
+    def test_ahead_receiver_pushes_surplus_back(self):
+        engine, _, transport = make_engine()
+        engine.seed_bootstrap([0, 1])
+        engine._on_digest(GossipDigest(origin=1, vv=((1, 1),), heartbeats=()), src=1)
+        ops = [m for _, dst, m in transport.sent if isinstance(m, GossipOps) and dst == 1]
+        assert ops and (0, 1, OP_JOIN, 0, 1) in ops[0].ops
+
+    def test_dead_member_probed_each_round(self):
+        engine, _, transport = make_engine()
+        engine.seed_bootstrap([0, 1])
+        engine._on_ops(GossipOps(origin=0, ops=((0, 2, OP_LEAVE, 1, 1),)))
+        assert engine._dead_targets() == [1]
+        engine._push_digest()
+        digests = [dst for _, dst, m in transport.sent if isinstance(m, GossipDigest)]
+        # No live peer remains, but the dead member still gets the digest.
+        assert digests == [1]
+        assert engine.counters.as_dict()["dead_probes"] == 1
+
+    def test_snapshot_fallback_on_truncated_log(self):
+        engine, _, transport = make_engine(gossip_log_ops=4)
+        engine.seed_bootstrap([0])
+        for seq in range(2, 12):  # own log bounded at 4: early seqs evicted
+            engine._apply_op(0, seq, OP_JOIN, 0, seq)
+        engine._serve_ranges(((0, 1),), dst=3)
+        snaps = [m for _, dst, m in transport.sent if isinstance(m, GossipSnapshot)]
+        assert len(snaps) == 1
+        assert snaps[0].records == ((0, 11, OP_JOIN, 0),)
+
+    def test_snapshot_fallback_on_oversized_range(self):
+        engine, _, transport = make_engine(gossip_log_ops=4 * MAX_REPLAY_OPS)
+        engine.seed_bootstrap([0])
+        for seq in range(2, MAX_REPLAY_OPS + 3):
+            engine._apply_op(0, seq, OP_JOIN, 0, seq)
+        engine._serve_ranges(((0, 0),), dst=3)
+        assert any(isinstance(m, GossipSnapshot) for _, _, m in transport.sent)
+
+    def test_empty_pull_serves_bootstrap_snapshot(self):
+        engine, _, transport = make_engine()
+        engine.seed_bootstrap([0, 1])
+        engine._on_pull(GossipPull(origin=5, ranges=()), src=5)
+        snaps = [m for _, dst, m in transport.sent if isinstance(m, GossipSnapshot)]
+        assert len(snaps) == 1 and snaps[0].vv == ((0, 1), (1, 1))
+
+
+class TestJoinProtocol:
+    def test_join_with_no_seeds_rejected(self):
+        engine, _, _ = make_engine()
+        engine.seed_bootstrap([0])  # only self
+        with pytest.raises(ConfigError):
+            engine.begin_join()
+
+    def test_snapshot_completes_join_with_fresh_incarnation(self):
+        engine, node, transport = make_engine(node_id=2)
+        engine.active = False
+        engine.seed_bootstrap([0, 1])
+        engine.begin_join()
+        assert any(
+            isinstance(m, GossipPull) and m.ranges == ()
+            for _, _, m in transport.sent
+        )
+        engine._on_snapshot(
+            GossipSnapshot(
+                origin=0,
+                vv=((0, 1), (1, 1)),
+                records=((0, 1, OP_JOIN, 0), (1, 1, OP_JOIN, 1), (2, 3, OP_LEAVE, 0)),
+                heartbeats=((0, 4), (1, 4)),
+            )
+        )
+        # The joiner refreshed its stale tombstone: join at stamp 3+1.
+        assert engine.records[2] == (4, OP_JOIN, 2)
+        assert engine.active and not engine._joining
+        assert node.installed and node.installed[-1][0] == (0, 1, 2)
+
+
+def gossip_test_config(**overrides):
+    cfg = dict(
+        membership_mode="gossip",
+        membership_in_band=False,
+        num_coordinators=1,
+        gossip_interval_s=2.0,
+        gossip_fanout=3,
+        membership_timeout_s=20.0,
+        membership_deltas=True,
+    )
+    cfg.update(overrides)
+    return OverlayConfig(**cfg)
+
+
+def build_gossip_overlay(n=12, seed=11, active_members=None, **overrides):
+    rng = np.random.default_rng(seed)
+    return build_overlay(
+        trace=planetlab_like(n, rng),
+        router=RouterKind.QUORUM,
+        rng=rng,
+        config=gossip_test_config(**overrides),
+        with_freshness=False,
+        active_members=active_members,
+    )
+
+
+def held_versions(overlay):
+    versions = overlay.view_versions()
+    return {int(versions[i]) for i in sorted(overlay.active) if versions[i] >= 0}
+
+
+class TestGossipOverlay:
+    def test_bootstrap_converges_without_coordinator(self):
+        overlay = build_gossip_overlay()
+        assert isinstance(overlay.membership, GossipMembershipPlane)
+        overlay.run(30.0)
+        assert len(held_versions(overlay)) == 1
+        assert overlay.membership.view.members == tuple(range(12))
+
+    def test_crash_expires_then_rejoin_refreshes_incarnation(self):
+        overlay = build_gossip_overlay()
+        overlay.run(10.0)
+        overlay.fail_node(3)
+        overlay.run(60.0)  # past timeout + dissemination
+        assert 3 not in overlay.membership.view.members
+        assert len(held_versions(overlay)) == 1
+        overlay.join_node(3)
+        overlay.run(60.0)
+        assert 3 in overlay.membership.view.members
+        assert len(held_versions(overlay)) == 1
+        # The rejoin refuted the expiry with a strictly newer incarnation.
+        stamps = {
+            engine.records[3] for engine in overlay.membership.engines.values()
+        }
+        assert len(stamps) == 1
+        stamp, action, _ = stamps.pop()
+        assert action == OP_JOIN and stamp >= 2
+        stats = overlay.membership.merged_stats().as_dict()
+        assert stats.get("expiries", 0) >= 1 and stats.get("joins", 0) >= 1
+
+    def test_graceful_leave_propagates_without_expiry(self):
+        overlay = build_gossip_overlay()
+        overlay.run(10.0)
+        overlay.leave_node(5)
+        overlay.run(30.0)
+        assert 5 not in overlay.membership.view.members
+        assert len(held_versions(overlay)) == 1
+        stats = overlay.membership.merged_stats().as_dict()
+        assert stats.get("leaves", 0) == 1
+
+    def test_armed_joiner_completes_via_seed_pull(self):
+        overlay = build_gossip_overlay(active_members=range(11))
+        overlay.run(10.0)
+        overlay.join_node(11)
+        overlay.run(40.0)
+        assert 11 in overlay.membership.view.members
+        assert len(held_versions(overlay)) == 1

@@ -195,3 +195,125 @@ class TestMembershipDeltaWire:
             tuple(joined),
             tuple(left),
         )
+
+
+class TestGossipDigestWire:
+    def test_digest_size_is_6_per_entry(self):
+        # header + 2x2B counts + 6B per vv entry + 6B per hb entry.
+        assert wire.gossip_digest_message_bytes(0, 0) == 46 + 4
+        assert wire.gossip_digest_message_bytes(3, 2) == 46 + 4 + 18 + 12
+
+    def test_round_trip(self):
+        vv = ((0, 5), (7, 1), (65535, 2**32 - 1))
+        hb = ((0, 9), (7, 12))
+        data = wire.encode_gossip_digest(vv, hb)
+        assert len(data) == 4 + 6 * 5
+        assert wire.decode_gossip_digest(data) == (vv, hb)
+
+    def test_empty_round_trip(self):
+        assert wire.decode_gossip_digest(wire.encode_gossip_digest((), ())) == (
+            (),
+            (),
+        )
+
+    def test_id_overflow_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_gossip_digest(((70000, 1),), ())
+
+    def test_seq_overflow_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_gossip_digest(((1, 2**32),), ())
+
+    def test_truncated_payload_rejected(self):
+        data = wire.encode_gossip_digest(((1, 2), (3, 4)), ((1, 9),))
+        with pytest.raises(WireFormatError):
+            wire.decode_gossip_digest(data[:-1])
+        with pytest.raises(WireFormatError):
+            wire.decode_gossip_digest(data + b"\x00")
+        with pytest.raises(WireFormatError):
+            wire.decode_gossip_digest(b"\x00")
+
+    def test_garbage_counts_rejected(self):
+        # Counts claiming more entries than the payload carries.
+        with pytest.raises(WireFormatError):
+            wire.decode_gossip_digest(b"\x00\x09\x00\x00" + b"\x00" * 6)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 65535), st.integers(0, 2**32 - 1)),
+            max_size=40,
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 65535), st.integers(0, 2**32 - 1)),
+            max_size=40,
+        ),
+    )
+    def test_round_trip_property(self, vv, hb):
+        data = wire.encode_gossip_digest(vv, hb)
+        assert wire.decode_gossip_digest(data) == (tuple(vv), tuple(hb))
+
+
+class TestGossipOpsWire:
+    def test_ops_size_is_13_per_op(self):
+        # header + 2B count + 13B per (origin, seq, action, target, stamp).
+        assert wire.gossip_ops_message_bytes(0) == 46 + 2
+        assert wire.gossip_ops_message_bytes(4) == 46 + 2 + 52
+
+    def test_round_trip(self):
+        ops = ((3, 1, 1, 3, 1), (3, 2, 3, 9, 4), (65535, 2**32 - 1, 2, 0, 0))
+        data = wire.encode_gossip_ops(ops)
+        assert len(data) == 2 + 13 * 3
+        assert wire.decode_gossip_ops(data) == ops
+
+    def test_empty_round_trip(self):
+        assert wire.decode_gossip_ops(wire.encode_gossip_ops(())) == ()
+
+    def test_bad_action_rejected_on_encode(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_gossip_ops(((1, 1, 0, 2, 1),))
+        with pytest.raises(WireFormatError):
+            wire.encode_gossip_ops(((1, 1, 4, 2, 1),))
+
+    def test_bad_action_rejected_on_decode(self):
+        import struct
+
+        # A syntactically valid payload carrying an unknown action byte:
+        # a forged or corrupted op must not reach the engine.
+        data = struct.pack(">H", 1) + struct.pack(">HIBHI", 1, 1, 7, 2, 1)
+        with pytest.raises(WireFormatError):
+            wire.decode_gossip_ops(data)
+
+    def test_id_overflow_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_gossip_ops(((70000, 1, 1, 2, 1),))
+        with pytest.raises(WireFormatError):
+            wire.encode_gossip_ops(((1, 1, 1, 70000, 1),))
+
+    def test_seq_overflow_rejected(self):
+        with pytest.raises(WireFormatError):
+            wire.encode_gossip_ops(((1, 2**32, 1, 2, 1),))
+
+    def test_truncated_payload_rejected(self):
+        data = wire.encode_gossip_ops(((1, 1, 1, 2, 1),))
+        with pytest.raises(WireFormatError):
+            wire.decode_gossip_ops(data[:-1])
+        with pytest.raises(WireFormatError):
+            wire.decode_gossip_ops(data + b"\x00")
+        with pytest.raises(WireFormatError):
+            wire.decode_gossip_ops(b"\x00")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 65535),
+                st.integers(0, 2**32 - 1),
+                st.integers(1, 3),
+                st.integers(0, 65535),
+                st.integers(0, 2**32 - 1),
+            ),
+            max_size=30,
+        )
+    )
+    def test_round_trip_property(self, ops):
+        data = wire.encode_gossip_ops(ops)
+        assert wire.decode_gossip_ops(data) == tuple(ops)

@@ -1,0 +1,28 @@
+"""Run-to-run determinism of the failover and gossip smoke commands.
+
+The scenario tables these commands emit are the acceptance artifacts of
+the membership fault suites; per seed they must be byte-identical across
+runs — any divergence means a hidden nondeterministic input (unordered
+iteration, shared rng, wall-clock leakage) crept into the fault path.
+"""
+
+import pytest
+
+from repro.cli import main
+
+SMOKE_COMMANDS = [
+    ("failover", "table_coordinator_failover_smoke.txt"),
+    ("gossip", "table_gossip_membership_smoke.txt"),
+]
+
+
+@pytest.mark.parametrize("command,table", SMOKE_COMMANDS)
+def test_smoke_tables_byte_identical_across_runs(tmp_path, capsys, command, table):
+    outputs = []
+    for run in ("a", "b"):
+        out = tmp_path / run
+        assert main([command, "--smoke", "--out", str(out)]) == 0
+        capsys.readouterr()
+        outputs.append((out / table).read_bytes())
+    assert outputs[0], f"{command} --smoke wrote an empty {table}"
+    assert outputs[0] == outputs[1]

@@ -1,0 +1,272 @@
+"""Fault plans and correlated-failure traces.
+
+Covers the :class:`FaultPlan` construction invariants (canonical
+partition pairs, merge-on-insert of overlapping windows, node-outage
+compilation into the failure table) and the correlated / diurnal churn
+generators, plus installing a member-only plan on a coordinator-free
+(gossip) overlay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.net.trace import planetlab_like
+from repro.overlay.config import OverlayConfig, RouterKind
+from repro.overlay.harness import build_overlay
+from repro.workloads import ACTION_FAIL, ACTION_JOIN, ACTION_LEAVE, ChurnTrace
+from repro.workloads.faults import FaultPlan, MemberEvent
+
+
+class TestCorrelatedFailure:
+    def test_crashes_whole_racks_within_spread(self):
+        trace = ChurnTrace.correlated_failure(
+            n=32,
+            group_size=4,
+            groups_to_fail=2,
+            crash_at_s=100.0,
+            duration_s=600.0,
+            seed=9,
+            spread_s=2.0,
+        )
+        assert trace.initial_active == tuple(range(32))
+        crashed = sorted(ev.node for ev in trace.events)
+        assert len(crashed) == 8
+        # Failed nodes come in contiguous rack-aligned runs of 4.
+        racks = {node // 4 for node in crashed}
+        assert len(racks) == 2
+        assert crashed == sorted(
+            node for r in racks for node in range(r * 4, r * 4 + 4)
+        )
+        for ev in trace.events:
+            assert ev.action == ACTION_FAIL
+            assert 100.0 <= ev.time <= 102.0
+        assert list(trace.events) == sorted(trace.events, key=lambda e: e.time)
+
+    def test_reboot_rejoins_same_nodes(self):
+        trace = ChurnTrace.correlated_failure(
+            n=24,
+            group_size=4,
+            groups_to_fail=1,
+            crash_at_s=50.0,
+            duration_s=400.0,
+            seed=3,
+            reboot_at_s=200.0,
+        )
+        crashed = sorted(ev.node for ev in trace.events if ev.action == ACTION_FAIL)
+        rebooted = sorted(ev.node for ev in trace.events if ev.action == ACTION_JOIN)
+        assert crashed == rebooted and len(crashed) == 4
+
+    def test_deterministic_per_seed(self):
+        kw = dict(
+            n=32, group_size=4, groups_to_fail=2, crash_at_s=60.0,
+            duration_s=500.0, reboot_at_s=250.0,
+        )
+        assert (
+            ChurnTrace.correlated_failure(seed=5, **kw).events
+            == ChurnTrace.correlated_failure(seed=5, **kw).events
+        )
+        assert (
+            ChurnTrace.correlated_failure(seed=5, **kw).events
+            != ChurnTrace.correlated_failure(seed=6, **kw).events
+        )
+
+    def test_validation(self):
+        kw = dict(n=16, group_size=4, crash_at_s=50.0, duration_s=200.0, seed=0)
+        with pytest.raises(WorkloadError):
+            ChurnTrace.correlated_failure(groups_to_fail=0, **kw)
+        with pytest.raises(WorkloadError):  # would fail every rack
+            ChurnTrace.correlated_failure(groups_to_fail=4, **kw)
+        with pytest.raises(WorkloadError):  # burst past end of trace
+            ChurnTrace.correlated_failure(
+                n=16, group_size=4, groups_to_fail=1,
+                crash_at_s=199.5, duration_s=200.0, seed=0,
+            )
+        with pytest.raises(WorkloadError):  # reboot before crash settles
+            ChurnTrace.correlated_failure(
+                n=16, group_size=4, groups_to_fail=1, crash_at_s=50.0,
+                duration_s=200.0, seed=0, reboot_at_s=51.0,
+            )
+        with pytest.raises(WorkloadError):  # < 4 survivors whichever rack fails
+            ChurnTrace.correlated_failure(
+                n=6, group_size=3, groups_to_fail=1,
+                crash_at_s=50.0, duration_s=200.0, seed=0,
+            )
+
+
+class TestPoissonDiurnal:
+    def test_valid_and_deterministic(self):
+        kw = dict(
+            n=40, peak_rate_per_s=0.2, duration_s=1200.0, period_s=600.0,
+        )
+        a = ChurnTrace.poisson_diurnal(seed=7, **kw)
+        b = ChurnTrace.poisson_diurnal(seed=7, **kw)
+        assert a.events == b.events and a.initial_active == b.initial_active
+        assert a.events
+        for ev in a.events:
+            assert 0.0 <= ev.time < 1200.0
+
+    def test_rate_dips_at_period_boundaries(self):
+        # Aggregate event mass around the profile troughs (t ~ 0 mod T)
+        # vs the peaks (t ~ T/2 mod T): the cosine modulation must show.
+        trace = ChurnTrace.poisson_diurnal(
+            n=60,
+            peak_rate_per_s=0.5,
+            duration_s=6000.0,
+            seed=13,
+            period_s=600.0,
+            floor_fraction=0.1,
+            min_active=4,
+        )
+        period = 600.0
+        trough = peak = 0
+        for ev in trace.events:
+            phase = (ev.time % period) / period
+            if phase < 0.25 or phase >= 0.75:
+                trough += 1
+            else:
+                peak += 1
+        assert peak > 1.5 * trough
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ChurnTrace.poisson_diurnal(
+                n=20, peak_rate_per_s=0.0, duration_s=100.0, seed=0, period_s=50.0
+            )
+        with pytest.raises(WorkloadError):
+            ChurnTrace.poisson_diurnal(
+                n=20, peak_rate_per_s=0.1, duration_s=100.0, seed=0, period_s=0.0
+            )
+        with pytest.raises(WorkloadError):
+            ChurnTrace.poisson_diurnal(
+                n=20, peak_rate_per_s=0.1, duration_s=100.0, seed=0,
+                period_s=50.0, floor_fraction=1.5,
+            )
+
+
+class TestPartitionMerging:
+    def test_overlapping_windows_same_pair_merge(self):
+        plan = FaultPlan()
+        plan.partition(10.0, 50.0, [0, 1], [2, 3])
+        plan.partition(40.0, 90.0, [3, 2], [1, 0])  # swapped + unsorted
+        assert plan.cuts == [(10.0, 90.0, (0, 1), (2, 3))]
+
+    def test_touching_and_duplicate_windows_merge(self):
+        plan = FaultPlan()
+        plan.partition(10.0, 50.0, [0], [1])
+        plan.partition(50.0, 70.0, [0], [1])  # touching
+        plan.partition(10.0, 50.0, [0], [1])  # exact duplicate
+        assert plan.cuts == [(10.0, 70.0, (0,), (1,))]
+
+    def test_disjoint_windows_and_pairs_kept_separate(self):
+        plan = FaultPlan()
+        plan.partition(10.0, 20.0, [0], [1])
+        plan.partition(30.0, 40.0, [0], [1])
+        plan.partition(10.0, 20.0, [0], [2])
+        assert len(plan.cuts) == 3
+
+    def test_merge_chains_across_existing_windows(self):
+        plan = FaultPlan()
+        plan.partition(10.0, 20.0, [0], [1])
+        plan.partition(30.0, 40.0, [0], [1])
+        plan.partition(15.0, 35.0, [0], [1])  # bridges both
+        assert plan.cuts == [(10.0, 40.0, (0,), (1,))]
+
+    def test_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(WorkloadError):
+            plan.partition(50.0, 50.0, [0], [1])  # empty window
+        with pytest.raises(WorkloadError):
+            plan.partition(0.0, 10.0, [], [1])  # empty side
+        with pytest.raises(WorkloadError):
+            plan.partition(0.0, 10.0, [0, 1], [1, 2])  # overlapping sides
+        with pytest.raises(WorkloadError):
+            plan.partition(0.0, 10.0, [-1], [1])  # negative id
+
+
+class TestNodeOutage:
+    def test_compiles_into_node_schedules(self):
+        plan = FaultPlan()
+        plan.node_outage(100.0, 200.0, [3, 1, 3])
+        plan.partition(50.0, 80.0, [0], [2])
+        table = plan.failure_table(n=8)
+        assert sorted(table.node_schedules) == [1, 3]
+        for node in (1, 3):
+            assert not table.node_is_up(node, 150.0)
+            assert table.node_is_up(node, 250.0)
+        # The partition cut coexists as link schedules.
+        assert not table.link_is_up(0, 2, 60.0)
+        assert table.link_is_up(0, 2, 90.0)
+
+    def test_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(WorkloadError):
+            plan.node_outage(10.0, 10.0, [1])
+        with pytest.raises(WorkloadError):
+            plan.node_outage(10.0, 20.0, [])
+        with pytest.raises(WorkloadError):
+            plan.node_outage(10.0, 20.0, [-2])
+        plan.node_outage(10.0, 20.0, [9])
+        with pytest.raises(WorkloadError):  # out of range for this n
+            plan.failure_table(n=8)
+
+
+class TestMemberEvents:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MemberEvent(-1.0, ACTION_FAIL, 0)
+        with pytest.raises(WorkloadError):
+            MemberEvent(0.0, "reboot", 0)
+        with pytest.raises(WorkloadError):
+            MemberEvent(0.0, ACTION_JOIN, -1)
+
+    def test_add_churn_absorbs_trace(self):
+        trace = ChurnTrace.correlated_failure(
+            n=24, group_size=4, groups_to_fail=1, crash_at_s=50.0,
+            duration_s=400.0, seed=3, reboot_at_s=200.0,
+        )
+        plan = FaultPlan().add_churn(trace)
+        assert len(plan.member_events) == len(trace.events)
+        assert {(e.time, e.action, e.node) for e in plan.member_events} == {
+            (e.time, e.action, e.node) for e in trace.events
+        }
+
+    def test_member_only_plan_installs_on_gossip_overlay(self):
+        rng = np.random.default_rng(21)
+        config = OverlayConfig(
+            membership_mode="gossip",
+            membership_in_band=False,
+            num_coordinators=1,
+            gossip_interval_s=2.0,
+            membership_timeout_s=20.0,
+        )
+        overlay = build_overlay(
+            trace=planetlab_like(12, rng),
+            router=RouterKind.QUORUM,
+            rng=rng,
+            config=config,
+            with_freshness=False,
+        )
+        plan = FaultPlan().fail_node(10.0, 4).leave_node(15.0, 7)
+        plan.install(overlay)
+        overlay.run(80.0)
+        members = overlay.membership.view.members
+        assert 4 not in members and 7 not in members
+
+    def test_coordinator_events_require_coordinator_group(self):
+        rng = np.random.default_rng(5)
+        overlay = build_overlay(
+            trace=planetlab_like(8, rng), rng=rng, with_freshness=False
+        )
+        plan = FaultPlan().crash_coordinator(10.0, 0)
+        with pytest.raises(WorkloadError):
+            plan.install(overlay)
+
+    def test_out_of_range_member_event_rejected_at_install(self):
+        rng = np.random.default_rng(5)
+        overlay = build_overlay(
+            trace=planetlab_like(8, rng), rng=rng, with_freshness=False
+        )
+        plan = FaultPlan().fail_node(10.0, 99)
+        with pytest.raises(WorkloadError):
+            plan.install(overlay)
